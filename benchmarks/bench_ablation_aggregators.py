@@ -1,0 +1,114 @@
+"""Ablation A6: answer-aggregation strategies.
+
+Section 5.2 argues for reliability-aware aggregation over simple
+averaging and surveys EM, Bayesian scoring and sequential Bayesian
+estimation.  This ablation pits the paper's online EM against blind
+majority voting and a sequential-Bayes baseline on the Figure 5
+workload, measuring labelling accuracy overall and — where the choice
+matters most — on the events where the crowd was split.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crowd import (
+    TRAFFIC_LABELS,
+    DisagreementTask,
+    MajorityVote,
+    OnlineEM,
+    Participant,
+    SequentialBayes,
+    simulate_answers,
+)
+
+from conftest import emit
+
+TRUE_PS = [0.05, 0.15, 0.2, 0.25, 0.25, 0.38, 0.4, 0.5, 0.75, 0.9]
+N_EVENTS = 800
+
+
+def _workload(seed=19):
+    rng = random.Random(seed)
+    participants = [
+        Participant(f"P{i + 1}", p) for i, p in enumerate(TRUE_PS)
+    ]
+    out = []
+    for t in range(1, N_EVENTS + 1):
+        truth = rng.choice(TRAFFIC_LABELS)
+        task = DisagreementTask(t, true_label=truth)
+        out.append((truth, simulate_answers(task, participants, rng)))
+    return out
+
+
+def _evaluate(factory, workload):
+    aggregator = factory()
+    correct = contested = contested_correct = 0
+    for truth, answers in workload:
+        votes = list(answers.answers.values())
+        top = max(votes.count(lb) for lb in set(votes))
+        is_contested = top <= len(votes) // 2
+        estimate = aggregator.process(answers)
+        hit = estimate.decided_label == truth
+        correct += hit
+        if is_contested:
+            contested += 1
+            contested_correct += hit
+    return {
+        "accuracy": correct / len(workload),
+        "contested": contested,
+        "contested_accuracy": (
+            contested_correct / contested if contested else 1.0
+        ),
+    }
+
+
+def test_ablation_aggregators(benchmark):
+    rows = {}
+
+    def run():
+        workload = _workload()
+        rows["out"] = {
+            "online EM": _evaluate(OnlineEM, workload),
+            "sequential Bayes": _evaluate(SequentialBayes, workload),
+            "majority vote": _evaluate(MajorityVote, workload),
+        }
+        return rows["out"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    out = rows["out"]
+
+    lines = [
+        f"Ablation A6 — answer aggregation ({N_EVENTS} events, "
+        "10 participants incl. one adversary)",
+        f"{'aggregator':<20}{'accuracy':>10}{'contested events':>18}"
+        f"{'contested acc.':>16}",
+    ]
+    for name, stats in out.items():
+        lines.append(
+            f"{name:<20}{stats['accuracy']:>10.1%}"
+            f"{stats['contested']:>18}"
+            f"{stats['contested_accuracy']:>16.1%}"
+        )
+    lines.append(
+        "finding: reliability-aware fusion wins exactly where the "
+        "crowd splits — blind majority voting cannot discount the "
+        "unreliable half of the panel."
+    )
+    emit("ablation_aggregators.txt", lines)
+
+    # --- shape assertions -------------------------------------------------
+    em, bayes, majority = (
+        out["online EM"], out["sequential Bayes"], out["majority vote"],
+    )
+    # 1. All three clear the single-participant baseline.
+    assert majority["accuracy"] > 0.6
+    # 2. Reliability-aware methods beat blind majority overall...
+    assert em["accuracy"] >= majority["accuracy"]
+    assert bayes["accuracy"] >= majority["accuracy"]
+    # 3. ...and clearly on contested events.
+    assert em["contested_accuracy"] > majority["contested_accuracy"]
+    # 4. Online EM is at least on par with the hard-update Bayes.
+    assert em["accuracy"] >= bayes["accuracy"] - 0.02

@@ -1,0 +1,134 @@
+"""Ablation A2: batch EM vs online EM, and the step-size sequence.
+
+The paper adopts online EM because batch EM "needs to operate in batch
+mode, which is not acceptable for our large, streaming problem"
+(Section 5.2).  This ablation quantifies what the choice costs and
+buys on the Figure 5 workload:
+
+* accuracy: final mean absolute error of the error-rate estimates;
+* cost: batch EM rescans all T events every time it is re-run, while
+  online EM does O(1) work per event and keeps only (p_i, t_i);
+* the step-size sequence: the convergent ``γ_t = 1/(t+1)`` versus the
+  paper's literally-printed ``γ_t = t/(t+1)`` (which violates the
+  Robbins-Monro conditions the paper itself states — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.crowd import (
+    TRAFFIC_LABELS,
+    BatchEM,
+    DisagreementTask,
+    OnlineEM,
+    Participant,
+    harmonic_gamma,
+    paper_printed_gamma,
+    simulate_answers,
+)
+
+from conftest import emit
+
+TRUE_PS = {
+    f"P{i + 1}": p
+    for i, p in enumerate(
+        [0.05, 0.15, 0.2, 0.25, 0.25, 0.38, 0.4, 0.5, 0.75, 0.9]
+    )
+}
+N_EVENTS = 600
+
+
+def _answer_sets(seed=11):
+    rng = random.Random(seed)
+    participants = [Participant(pid, p) for pid, p in TRUE_PS.items()]
+    return [
+        simulate_answers(
+            DisagreementTask(t, true_label=rng.choice(TRAFFIC_LABELS)),
+            participants,
+            rng,
+        )
+        for t in range(1, N_EVENTS + 1)
+    ]
+
+
+def _mae(estimates) -> float:
+    return sum(
+        abs(estimates(pid) - p) for pid, p in TRUE_PS.items()
+    ) / len(TRUE_PS)
+
+
+def _experiment():
+    answer_sets = _answer_sets()
+
+    t0 = time.process_time()
+    batch_result = BatchEM().fit(answer_sets)
+    batch_time = time.process_time() - t0
+
+    online = OnlineEM(gamma=harmonic_gamma)
+    t0 = time.process_time()
+    for answers in answer_sets:
+        online.process(answers)
+    online_time = time.process_time() - t0
+
+    printed = OnlineEM(gamma=paper_printed_gamma)
+    for answers in answer_sets:
+        printed.process(answers)
+
+    # Streaming comparison: batch EM re-fit at every 100th event (the
+    # periodic re-evaluation strategy the paper rejects).
+    t0 = time.process_time()
+    for upto in range(100, N_EVENTS + 1, 100):
+        BatchEM(max_iterations=50).fit(answer_sets[:upto])
+    periodic_batch_time = time.process_time() - t0
+
+    return {
+        "batch_mae": _mae(lambda pid: batch_result.error_probabilities[pid]),
+        "online_mae": _mae(online.estimate),
+        "printed_mae": _mae(printed.estimate),
+        "batch_time": batch_time,
+        "online_time": online_time,
+        "periodic_batch_time": periodic_batch_time,
+        "batch_iterations": batch_result.iterations,
+    }
+
+
+def test_ablation_batch_vs_online_em(benchmark):
+    result = {}
+
+    def run():
+        result["out"] = _experiment()
+        return result["out"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    out = result["out"]
+
+    lines = [
+        f"Ablation A2 — batch vs online EM ({N_EVENTS} events, "
+        "10 participants)",
+        f"{'estimator':<38}{'MAE':>8}{'CPU (s)':>10}",
+        f"{'batch EM (single fit, ' + str(out['batch_iterations']) + ' iters)':<38}"
+        f"{out['batch_mae']:>8.3f}{out['batch_time']:>10.3f}",
+        f"{'online EM (gamma=1/(t+1))':<38}"
+        f"{out['online_mae']:>8.3f}{out['online_time']:>10.3f}",
+        f"{'online EM (printed gamma=t/(t+1))':<38}"
+        f"{out['printed_mae']:>8.3f}{'':>10}",
+        f"{'batch EM re-fit every 100 events':<38}"
+        f"{'':>8}{out['periodic_batch_time']:>10.3f}",
+        "finding: online EM approaches batch accuracy at a fraction of "
+        "the streaming cost; the printed step-size never converges.",
+    ]
+    emit("ablation_em.txt", lines)
+
+    # --- shape assertions -------------------------------------------------
+    # 1. Batch EM is the accuracy ceiling; online EM comes close.
+    assert out["batch_mae"] < 0.06
+    assert out["online_mae"] < out["batch_mae"] + 0.05
+    # 2. The printed step-size sequence is clearly worse.
+    assert out["printed_mae"] > 2 * out["online_mae"]
+    # 3. Streaming with periodic batch re-fits costs far more CPU than
+    #    the online pass.
+    assert out["periodic_batch_time"] > 3 * out["online_time"]

@@ -1,0 +1,108 @@
+"""Ablation A1: working memory vs step under delayed SDE arrival.
+
+Section 4.2 argues that when SDEs arrive with delays "it is preferable
+to make WM longer than the step": events occurring before the previous
+query time but arriving after it are only considered if the window
+still covers them (Figure 2).  This ablation quantifies the trade-off:
+recall of delayed events versus recognition cost, for window/step
+ratios 1x, 2x and 3x.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import RTEC, Event, Occurrence, RecognitionLog
+from repro.core.rules import FunctionalEvent
+
+from conftest import emit
+
+STEP = 300
+DURATION = 6000
+N_EVENTS = 2000
+MAX_DELAY = 450  # some delays exceed one step
+
+
+def _delayed_stream(seed: int = 1) -> list[Event]:
+    rng = random.Random(seed)
+    events = []
+    for i in range(N_EVENTS):
+        t = rng.randrange(0, DURATION)
+        delay = rng.randrange(0, MAX_DELAY) if rng.random() < 0.3 else 0
+        events.append(Event("ping", t, {"id": i}, arrival=t + delay))
+    return events
+
+
+def _echo():
+    return FunctionalEvent(
+        "echo",
+        lambda ctx: [
+            Occurrence("echo", (e["id"],), e.time) for e in ctx.events("ping")
+        ],
+    )
+
+
+def _run(window_factor: int, events: list[Event]):
+    engine = RTEC([_echo()], window=STEP * window_factor, step=STEP)
+    engine.feed(events)
+    log = RecognitionLog()
+    recognised: set[int] = set()
+    considered = 0
+    for snapshot in engine.run(DURATION + STEP * window_factor):
+        fresh = log.add(snapshot)
+        recognised.update(o.key[0] for o in fresh.of_type("echo"))
+        considered += snapshot.n_events
+    return {
+        "factor": window_factor,
+        "recognised": len(recognised),
+        "recall": len(recognised) / N_EVENTS,
+        "mean_elapsed": log.mean_elapsed,
+        "considered": considered,
+    }
+
+
+def test_ablation_window_vs_step(benchmark):
+    events = _delayed_stream()
+    rows = {}
+
+    def run():
+        rows["series"] = [_run(factor, events) for factor in (1, 2, 3)]
+        return rows["series"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    series = rows["series"]
+
+    lines = [
+        "Ablation A1 — window size vs step under delayed arrivals "
+        f"({N_EVENTS} SDEs, 30% delayed up to {MAX_DELAY}s, step {STEP}s)",
+        f"{'WM/step':>8} {'recognised':>11} {'recall':>8} "
+        f"{'SDEs considered':>16} {'mean step cost (ms)':>20}",
+    ]
+    for row in series:
+        lines.append(
+            f"{row['factor']:>7}x {row['recognised']:>11} "
+            f"{row['recall']:>8.1%} {row['considered']:>16} "
+            f"{row['mean_elapsed'] * 1000:>20.2f}"
+        )
+    lines.append(
+        "paper's Figure 2 argument: WM > step catches SDEs that arrive "
+        "after their window's query time; WM = step loses them."
+    )
+    emit("ablation_window_step.txt", lines)
+
+    # --- shape assertions -------------------------------------------------
+    # 1. WM = step loses delayed events; growing the window recovers
+    #    more of them.
+    assert series[0]["recall"] < 1.0
+    assert series[1]["recall"] > series[0]["recall"]
+    # 2. With delays bounded by 1.5 steps, WM = 3x captures everything
+    #    (a delayed SDE is at most step + delay behind its query time).
+    assert series[2]["recall"] == pytest.approx(1.0, abs=1e-9)
+    # 3. The cost driver grows with the window: wider windows consider
+    #    (and re-consider) more SDEs per step.  (Wall-clock per step at
+    #    this tiny scale is warm-up-dominated noise, so the assertion
+    #    is on the deterministic work measure.)
+    assert series[2]["considered"] > series[1]["considered"]
+    assert series[1]["considered"] > series[0]["considered"]

@@ -1,0 +1,45 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every bench regenerates one of the paper's evaluation artefacts
+(Figures 4–9 or an ablation), prints the same rows/series the paper
+reports, and writes them under ``benchmarks/out/`` so the run leaves a
+reviewable record.  Scale can be reduced for smoke runs with the
+``REPRO_BENCH_SCALE`` environment variable (1.0 = paper scale).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+def bench_scale() -> float:
+    """Global scale knob: 1.0 reproduces the paper's workload sizes."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def write_series(name: str, text: str) -> Path:
+    """Persist a printed series under ``benchmarks/out/``."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def emit(name: str, lines: list[str]) -> str:
+    """Print a series and persist it; returns the rendered text."""
+    text = "\n".join(lines)
+    print()
+    print(text)
+    write_series(name, text + "\n")
+    return text
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR

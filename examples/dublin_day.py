@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""A morning rush hour in Dublin: static vs self-adaptive recognition.
+
+Simulates the 07:30–09:00 window with incidents and unreliable buses,
+and runs the system twice — once with *static* recognition (rule-set 3:
+every source always trusted) and once *self-adaptive* (rule-sets 3′+5:
+buses disagreeing with SCATS are quarantined until rehabilitated) — to
+show how adaptation suppresses the false congestion alerts injected by
+the unreliable buses, the core claim of the paper's Section 4.3.
+
+Usage::
+
+    python examples/dublin_day.py
+"""
+
+from repro.dublin import DublinScenario, ScenarioConfig
+from repro.system import SystemConfig, UrbanTrafficSystem
+
+RUSH_START = int(7.5 * 3600)
+RUSH_END = int(9.0 * 3600)
+
+
+def build_scenario() -> DublinScenario:
+    return DublinScenario(
+        ScenarioConfig(
+            seed=21,
+            rows=16,
+            cols=16,
+            n_intersections=80,
+            n_buses=150,
+            n_lines=15,
+            unreliable_fraction=0.15,
+            n_incidents=10,
+            incident_window=(RUSH_START, RUSH_END),
+        )
+    )
+
+
+def run(adaptive: bool):
+    system = UrbanTrafficSystem(
+        build_scenario(),
+        SystemConfig(
+            window=900,
+            step=300,
+            adaptive=adaptive,
+            noisy_variant="pessimistic",
+            crowd_enabled=adaptive,
+            n_participants=60,
+            seed=21,
+        ),
+    )
+    return system, system.run(RUSH_START, RUSH_END)
+
+
+def main() -> None:
+    print("simulating 07:30-09:00 with 15% unreliable buses...\n")
+    static_system, static_report = run(adaptive=False)
+    adaptive_system, adaptive_report = run(adaptive=True)
+
+    print(f"{'metric':<42}{'static':>10}{'adaptive':>10}")
+    print("-" * 62)
+    for kind in (
+        "bus congestion",
+        "scats congestion",
+        "source disagreement",
+        "crowd resolution",
+        "congestion in-the-make",
+    ):
+        s = static_report.console.counts().get(kind, 0)
+        a = adaptive_report.console.counts().get(kind, 0)
+        print(f"{kind:<42}{s:>10}{a:>10}")
+    print(
+        f"{'mean recognition time (ms)':<42}"
+        f"{static_report.mean_recognition_time * 1000:>10.1f}"
+        f"{adaptive_report.mean_recognition_time * 1000:>10.1f}"
+    )
+
+    print("\n=== adaptive run: last alerts ===")
+    print(adaptive_report.console.render(limit=12))
+
+    print("\n=== per-region recognition load (adaptive) ===")
+    for region, log in adaptive_report.logs.items():
+        sdes = sum(s.n_events for s in log.snapshots)
+        print(
+            f"{region:<10} {sdes:>8} SDEs   "
+            f"{log.mean_elapsed * 1000:>8.1f} ms/query"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro — reproduction of *Heterogeneous Stream Processing and
+Crowdsourcing for Urban Traffic Management* (Artikis et al., EDBT 2014).
+
+The package mirrors the paper's architecture (its Figure 1):
+
+* :mod:`repro.streams` — the Streams middleware analog (Sections 2–3);
+* :mod:`repro.core` — RTEC complex event processing and the Dublin
+  traffic CE definitions (Section 4);
+* :mod:`repro.crowd` — crowdsourced veracity resolution with online EM
+  and the mobile query execution engine (Section 5);
+* :mod:`repro.traffic_model` — GP traffic-flow regression on the street
+  graph for data sparsity (Section 6);
+* :mod:`repro.dublin` — the synthetic Dublin substrate standing in for
+  the offline dublinked.ie / OpenStreetMap data (DESIGN.md §2);
+* :mod:`repro.system` — the integrated closed-loop system.
+
+Quickstart::
+
+    from repro.dublin import DublinScenario, ScenarioConfig
+    from repro.system import UrbanTrafficSystem, SystemConfig
+
+    scenario = DublinScenario(ScenarioConfig(seed=1, n_buses=100))
+    system = UrbanTrafficSystem(scenario, SystemConfig())
+    report = system.run(0, 1800)
+    print(report.console.render_summary())
+"""
+
+from . import core, crowd, dublin, streams, system, traffic_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "streams",
+    "crowd",
+    "traffic_model",
+    "dublin",
+    "system",
+    "__version__",
+]

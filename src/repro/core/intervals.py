@@ -1,0 +1,386 @@
+"""Maximal-interval algebra for the RTEC reproduction.
+
+RTEC (the Event Calculus for Run-Time reasoning) represents the periods
+during which a fluent continuously holds as a *list of maximal
+intervals* and defines statically-determined fluents through three
+interval-manipulation constructs: ``union_all``, ``intersect_all`` and
+``relative_complement_all`` (paper, Table 1).  This module implements
+those constructs together with the machinery needed by simple fluents:
+turning initiation/termination time-points into maximal intervals under
+the law of inertia.
+
+Conventions
+-----------
+* Time is discrete (integers).
+* An interval is a half-open pair ``(start, end)`` meaning the fluent
+  holds at every time-point ``t`` with ``start <= t < end``.
+* ``end`` may be ``None``, meaning the interval is *open*: the fluent
+  still holds at the right edge of the evaluation window (RTEC reports
+  such intervals as extending to the query time).
+* An initiation at time ``t`` makes the fluent hold from ``t + 1``
+  onwards; a termination at ``t`` makes it cease from ``t + 1`` onwards.
+  This mirrors the Event Calculus convention that effects of an event
+  hold strictly after its occurrence.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Optional
+
+#: Effects of an initiation/termination apply this many time-points
+#: after the triggering event (Event Calculus convention).
+EFFECT_DELAY = 1
+
+Interval = tuple[int, Optional[int]]
+
+
+def _end_sort_key(end: Optional[int]) -> float:
+    """Map an interval end to a sortable number (``None`` = +infinity)."""
+    return math.inf if end is None else end
+
+
+class IntervalList:
+    """An immutable, normalised list of maximal half-open intervals.
+
+    Normalised means: intervals are non-empty, sorted by start, pairwise
+    disjoint, and non-adjacent (touching intervals are merged into one
+    maximal interval).  At most one interval may have ``end=None`` and,
+    if present, it is the last one.
+    """
+
+    __slots__ = ("_ivs",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()):
+        self._ivs: tuple[Interval, ...] = _normalise(intervals)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "IntervalList":
+        """The empty list of intervals (fluent never holds)."""
+        return _EMPTY
+
+    @classmethod
+    def single(cls, start: int, end: Optional[int]) -> "IntervalList":
+        """A list holding one interval ``[start, end)``."""
+        return cls(((start, end),))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def intervals(self) -> tuple[Interval, ...]:
+        """The underlying tuple of ``(start, end)`` pairs."""
+        return self._ivs
+
+    def __bool__(self) -> bool:
+        return bool(self._ivs)
+
+    def __len__(self) -> int:
+        return len(self._ivs)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._ivs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalList):
+            return NotImplemented
+        return self._ivs == other._ivs
+
+    def __hash__(self) -> int:
+        return hash(self._ivs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(
+            f"[{s}, {'∞' if e is None else e})" for s, e in self._ivs
+        )
+        return f"IntervalList({body})"
+
+    def holds_at(self, t: int) -> bool:
+        """Return whether the fluent holds at time-point ``t``.
+
+        Implements ``holdsAt(F=V, T)``: true iff ``T`` belongs to one of
+        the maximal intervals (paper, Table 1).
+        """
+        return self.interval_at(t) is not None
+
+    def interval_at(self, t: int) -> Optional[Interval]:
+        """The maximal interval containing ``t``, or ``None``.
+
+        Used by the engine to carry an episode's historical start
+        across overlapping windows (RTEC's interval retention).
+        """
+        for start, end in self._ivs:
+            if t < start:
+                return None
+            if end is None or t < end:
+                return (start, end)
+        return None
+
+    def first_start(self) -> Optional[int]:
+        """Start of the earliest interval, or ``None`` if empty."""
+        return self._ivs[0][0] if self._ivs else None
+
+    def last_end(self) -> Optional[int]:
+        """End of the latest interval (``None`` if open or empty)."""
+        return self._ivs[-1][1] if self._ivs else None
+
+    def total_duration(self, horizon: Optional[int] = None) -> int:
+        """Total number of time-points covered, up to ``horizon``.
+
+        Open intervals require a ``horizon`` to be measurable; without
+        one a :class:`ValueError` is raised when an open interval is
+        present.
+        """
+        total = 0
+        for start, end in self._ivs:
+            if end is None:
+                if horizon is None:
+                    raise ValueError(
+                        "cannot measure an open interval without a horizon"
+                    )
+                end = horizon
+            if horizon is not None:
+                end = min(end, horizon)
+            if end > start:
+                total += end - start
+        return total
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def union(self, other: "IntervalList") -> "IntervalList":
+        """Pointwise disjunction of two interval lists."""
+        return IntervalList(self._ivs + other._ivs)
+
+    def intersect(self, other: "IntervalList") -> "IntervalList":
+        """Pointwise conjunction of two interval lists."""
+        out: list[Interval] = []
+        a, b = self._ivs, other._ivs
+        i = j = 0
+        while i < len(a) and j < len(b):
+            start = max(a[i][0], b[j][0])
+            end_a = _end_sort_key(a[i][1])
+            end_b = _end_sort_key(b[j][1])
+            end = min(end_a, end_b)
+            if start < end:
+                out.append((start, None if end is math.inf else int(end)))
+            if end_a <= end_b:
+                i += 1
+            else:
+                j += 1
+        return IntervalList(out)
+
+    def complement(self, window_start: int, window_end: Optional[int]) -> "IntervalList":
+        """Intervals within ``[window_start, window_end)`` where the
+        fluent does *not* hold."""
+        out: list[Interval] = []
+        cursor: float = window_start
+        limit = _end_sort_key(window_end)
+        for start, end in self._ivs:
+            if _end_sort_key(end) <= cursor:
+                continue
+            if start >= limit:
+                break
+            if start > cursor:
+                out.append((int(cursor), min(start, int(limit)) if limit is not math.inf else start))
+            cursor = max(cursor, _end_sort_key(end))
+            if cursor >= limit:
+                break
+        if cursor < limit:
+            out.append(
+                (int(cursor), None if window_end is None else window_end)
+            )
+        return IntervalList(out)
+
+    def relative_complement(
+        self, others: Sequence["IntervalList"]
+    ) -> "IntervalList":
+        """``relative_complement_all``: portions of *self* not covered
+        by any interval of any list in ``others`` (paper, Table 1)."""
+        if not self._ivs:
+            return _EMPTY
+        covered = union_all(others)
+        if not covered:
+            return self
+        # Clip the complement of `covered` to self's extent, then
+        # intersect with self.
+        lo = self._ivs[0][0]
+        hi = self._ivs[-1][1]
+        return self.intersect(covered.complement(lo, hi))
+
+    def clip(self, window_start: int, window_end: Optional[int]) -> "IntervalList":
+        """Restrict the intervals to ``[window_start, window_end)``.
+
+        Used when sliding the working memory: RTEC discards everything
+        before ``Q_i - WM``.
+        """
+        window = IntervalList.single(window_start, window_end)
+        return self.intersect(window)
+
+    def close(self, at: int) -> "IntervalList":
+        """Replace an open right end with the concrete bound ``at``.
+
+        RTEC reports ongoing fluents as holding up to the query time;
+        ``close`` materialises that choice for duration accounting.
+        """
+        if not self._ivs or self._ivs[-1][1] is not None:
+            return self
+        ivs = list(self._ivs)
+        start, _ = ivs[-1]
+        if at <= start:
+            ivs.pop()
+        else:
+            ivs[-1] = (start, at)
+        return IntervalList(ivs)
+
+
+def _normalise(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
+    """Sort, drop empties, and merge overlapping/adjacent intervals."""
+    cleaned = [
+        (s, e)
+        for s, e in intervals
+        if e is None or e > s
+    ]
+    if not cleaned:
+        return ()
+    cleaned.sort(key=lambda iv: (iv[0], _end_sort_key(iv[1])))
+    merged: list[Interval] = [cleaned[0]]
+    for start, end in cleaned[1:]:
+        last_start, last_end = merged[-1]
+        if last_end is None:
+            break  # an open interval swallows everything after it
+        if start <= last_end:
+            if end is None or end > last_end:
+                merged[-1] = (last_start, end)
+        else:
+            merged.append((start, end))
+    return tuple(merged)
+
+
+_EMPTY = IntervalList.__new__(IntervalList)
+_EMPTY._ivs = ()
+
+
+# ----------------------------------------------------------------------
+# RTEC interval-manipulation constructs (paper, Table 1)
+# ----------------------------------------------------------------------
+def union_all(lists: Sequence[IntervalList]) -> IntervalList:
+    """``union_all(L, I)``: maximal intervals of the union of ``L``."""
+    all_ivs: list[Interval] = []
+    for lst in lists:
+        all_ivs.extend(lst.intervals)
+    return IntervalList(all_ivs)
+
+
+def intersect_all(lists: Sequence[IntervalList]) -> IntervalList:
+    """``intersect_all(L, I)``: maximal intervals of the intersection."""
+    if not lists:
+        return IntervalList.empty()
+    result = lists[0]
+    for lst in lists[1:]:
+        if not result:
+            break
+        result = result.intersect(lst)
+    return result
+
+
+def relative_complement_all(
+    primary: IntervalList, others: Sequence[IntervalList]
+) -> IntervalList:
+    """``relative_complement_all(I', L, I)`` (paper, Table 1).
+
+    ``I`` is the part of ``I'`` not covered by any list in ``L``.  The
+    paper uses this to define ``sourceDisagreement``: bus-reported
+    congestion intervals minus SCATS-reported congestion intervals.
+    """
+    return primary.relative_complement(others)
+
+
+def count_threshold(lists: Sequence[IntervalList], n: int) -> IntervalList:
+    """Intervals during which at least ``n`` of ``lists`` hold.
+
+    Supports the paper's intersection-congestion definition: "a SCATS
+    intersection is congested if at least n (n > 1) of its sensors are
+    congested" (Section 4.3).  Implemented as a boundary sweep.
+    """
+    if n <= 0:
+        raise ValueError("count threshold must be positive")
+    if len(lists) < n:
+        return IntervalList.empty()
+    deltas: list[tuple[float, int]] = []
+    for lst in lists:
+        for start, end in lst:
+            deltas.append((start, +1))
+            deltas.append((_end_sort_key(end), -1))
+    deltas.sort(key=lambda d: (d[0], -d[1]))
+    out: list[Interval] = []
+    active = 0
+    open_start: Optional[float] = None
+    for point, delta in deltas:
+        prev = active
+        active += delta
+        if prev < n <= active:
+            open_start = point
+        elif prev >= n > active and open_start is not None:
+            if point > open_start:
+                out.append(
+                    (int(open_start), None if point is math.inf else int(point))
+                )
+            open_start = None
+    if open_start is not None and open_start is not math.inf:
+        out.append((int(open_start), None))
+    return IntervalList(out)
+
+
+# ----------------------------------------------------------------------
+# Simple-fluent interval construction (law of inertia)
+# ----------------------------------------------------------------------
+def make_intervals(
+    initiations: Iterable[int],
+    terminations: Iterable[int],
+    *,
+    holding_at_start: bool = False,
+    window_start: int = 0,
+) -> IntervalList:
+    """Build the maximal intervals of a simple fluent.
+
+    Given the time-points at which ``initiatedAt`` and ``terminatedAt``
+    hold inside the current window, produce the maximal intervals during
+    which the fluent holds, applying the law of inertia: once initiated
+    at ``t`` the fluent holds from ``t + EFFECT_DELAY`` until the first
+    later termination point ``t'`` (ceasing at ``t' + EFFECT_DELAY``).
+
+    ``holding_at_start`` seeds the state at the window's left edge from
+    the previous evaluation cycle, which is how inertia is carried
+    across overlapping windows.
+
+    Tie-break: if the same time-point both initiates and terminates the
+    fluent, termination wins (the fluent does not (re)start there).
+    """
+    init_set = set(initiations)
+    term_set = set(terminations)
+    points = sorted(init_set | term_set)
+
+    out: list[Interval] = []
+    holding = holding_at_start
+    current_start: Optional[int] = window_start if holding else None
+    for t in points:
+        terminates = t in term_set
+        initiates = t in init_set and not terminates
+        if holding and terminates:
+            end = t + EFFECT_DELAY
+            assert current_start is not None
+            if end > current_start:
+                out.append((current_start, end))
+            holding = False
+            current_start = None
+        elif not holding and initiates:
+            holding = True
+            current_start = t + EFFECT_DELAY
+    if holding and current_start is not None:
+        out.append((current_start, None))
+    return IntervalList(out)

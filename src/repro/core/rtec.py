@@ -1,0 +1,510 @@
+"""The RTEC run-time event recognition engine (reproduction).
+
+Implements the reasoning machinery described in Section 4.2 of the
+paper: complex-event recognition is performed at successive *query
+times* ``Q_1, Q_2, ...`` spaced ``step`` apart; at each query time only
+the SDEs whose occurrence falls inside the *working memory* (window)
+``(Q_i - WM, Q_i]`` — and that have *arrived* by ``Q_i`` — are taken
+into consideration.  Making the window larger than the step lets the
+engine account for SDEs that occurred before the previous query time
+but arrived after it (the paper's Figure 2); windowing bounds the cost
+of recognition by the window size rather than the full stream history.
+
+Evaluation proceeds stratum by stratum over the definitions (see
+:mod:`repro.core.rules`), and the value of each simple fluent at the
+window's left edge is seeded from the previous evaluation cycle, which
+carries the law of inertia across overlapping windows.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import defaultdict
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .events import Event, FluentFact, FluentKey, Occurrence
+from .intervals import EFFECT_DELAY, IntervalList, make_intervals
+from .rules import (
+    Definition,
+    DerivedEvent,
+    RuleContext,
+    SimpleFluent,
+    StaticFluent,
+    ValuedFluent,
+    stratify,
+)
+
+
+@dataclass
+class RecognitionSnapshot:
+    """The result of one recognition step at a query time.
+
+    Attributes
+    ----------
+    query_time:
+        The query time ``Q_i``.
+    window_start:
+        ``Q_i - WM``; SDEs at or before this point were discarded.
+    fluents:
+        Computed maximal intervals per fluent name and grounding
+        (``holdsFor``).
+    occurrences:
+        Recognised derived-event instances per CE name (``happensAt``).
+    elapsed:
+        CPU seconds spent on this recognition step (process time), the
+        quantity reported in the paper's Figure 4.
+    n_events:
+        Number of input SDEs considered in the window.
+    """
+
+    query_time: int
+    window_start: int
+    fluents: dict[str, dict[FluentKey, IntervalList]] = field(
+        default_factory=dict
+    )
+    occurrences: dict[str, list[Occurrence]] = field(default_factory=dict)
+    elapsed: float = 0.0
+    n_events: int = 0
+    #: CPU seconds spent per definition (profiling breakdown).
+    per_definition: dict[str, float] = field(default_factory=dict)
+
+    def intervals(self, name: str, key: FluentKey) -> IntervalList:
+        """``holdsFor`` lookup on the snapshot."""
+        return self.fluents.get(name, {}).get(key, IntervalList.empty())
+
+    def holds_at(self, name: str, key: FluentKey, t: int) -> bool:
+        """``holdsAt`` lookup on the snapshot."""
+        return self.intervals(name, key).holds_at(t)
+
+    def all_occurrences(self, name: str) -> list[Occurrence]:
+        """All occurrences of derived event ``name`` in this window."""
+        return self.occurrences.get(name, [])
+
+
+class RTEC:
+    """Windowed, stratified event-recognition engine.
+
+    Parameters
+    ----------
+    definitions:
+        The CE/fluent definitions to evaluate; they are stratified by
+        their declared dependencies.
+    window:
+        Working-memory size ``WM`` in time-points.
+    step:
+        Distance between consecutive query times.  The paper recommends
+        ``window > step`` when SDEs arrive with delays.
+    params:
+        Threshold/tuning parameters made available to rule bodies via
+        :meth:`repro.core.rules.RuleContext.param`.
+    start:
+        Time-point of ``Q_0``; the first query time is ``start + step``.
+    initially:
+        Initial fluent state (the Event Calculus ``initially``
+        predicate): ``{(fluent_name, grounding): value}`` — ``True``
+        for boolean simple fluents, an arbitrary value for valued
+        fluents.  Those fluents hold from before the first window until
+        terminated.
+    """
+
+    def __init__(
+        self,
+        definitions: Sequence[Definition],
+        *,
+        window: int,
+        step: int,
+        params: Optional[Mapping[str, Any]] = None,
+        start: int = 0,
+        initially: Optional[Mapping[tuple[str, FluentKey], Any]] = None,
+    ):
+        if window <= 0 or step <= 0:
+            raise ValueError("window and step must be positive")
+        if step > window:
+            raise ValueError(
+                "step must not exceed the window: SDEs occurring between "
+                "windows would never be considered"
+            )
+        self.window = window
+        self.step = step
+        self.params: dict[str, Any] = dict(params or {})
+        self._definitions = stratify(definitions)
+        self._start = start
+        self._last_query: Optional[int] = None
+        self._events: list[Event] = []
+        self._facts: list[FluentFact] = []
+        self._inputs_sorted = True
+        #: last computed intervals per (fluent name, grounding); seeds
+        #: the value at the next window's left edge (inertia).  Valued
+        #: fluents are cached under ``grounding + (value,)``.
+        self._fluent_cache: dict[tuple[str, FluentKey], IntervalList] = {}
+        #: names of the valued-fluent definitions (they extend keys).
+        self._valued_names = {
+            d.name for d in self._definitions if isinstance(d, ValuedFluent)
+        }
+        if initially:
+            # The fluent holds from before any window's left edge.
+            genesis = start + step - window - 1
+            for (name, key), value in initially.items():
+                if name in self._valued_names:
+                    cache_key = (name, tuple(key) + (value,))
+                elif value is True:
+                    cache_key = (name, tuple(key))
+                else:
+                    raise ValueError(
+                        "boolean fluents can only be initially True; "
+                        f"got {value!r} for {name!r}"
+                    )
+                self._fluent_cache[cache_key] = IntervalList.single(
+                    genesis, None
+                )
+
+    # ------------------------------------------------------------------
+    # Input handling
+    # ------------------------------------------------------------------
+    def feed(
+        self,
+        events: Iterable[Event] = (),
+        facts: Iterable[FluentFact] = (),
+    ) -> None:
+        """Buffer input SDEs and input-fluent facts.
+
+        Inputs may be fed in any order; the engine sorts by occurrence
+        time before each query and honours arrival times when selecting
+        the window contents.
+        """
+        appended = False
+        for ev in events:
+            self._events.append(ev)
+            appended = True
+        for fact in facts:
+            self._facts.append(fact)
+            appended = True
+        if appended:
+            self._inputs_sorted = False
+
+    def _ensure_sorted(self) -> None:
+        if not self._inputs_sorted:
+            self._events.sort(key=lambda e: e.time)
+            self._facts.sort(key=lambda f: f.time)
+            self._inputs_sorted = True
+
+    def _prune(self, horizon: int) -> None:
+        """Discard inputs that can never again fall inside a window."""
+        self._events = [e for e in self._events if e.time > horizon]
+        self._facts = [f for f in self._facts if f.time > horizon]
+
+    # ------------------------------------------------------------------
+    # Recognition
+    # ------------------------------------------------------------------
+    def query(self, q: int) -> RecognitionSnapshot:
+        """Perform one recognition step at query time ``q``.
+
+        Only SDEs with occurrence in ``(q - window, q]`` that have
+        arrived by ``q`` are considered; everything older is discarded
+        (the paper's working-memory semantics).
+        """
+        if self._last_query is not None and q <= self._last_query:
+            raise ValueError(
+                f"query times must be increasing: {q} <= {self._last_query}"
+            )
+        self._ensure_sorted()
+        window_start = q - self.window
+
+        events_by_type: dict[str, list[Event]] = defaultdict(list)
+        n_events = 0
+        for ev in self._events:
+            if ev.time <= window_start:
+                continue
+            if ev.time > q:
+                break
+            if ev.arrival <= q:
+                events_by_type[ev.type].append(ev)
+                n_events += 1
+
+        facts_by_key: dict[tuple[str, FluentKey], list[FluentFact]] = (
+            defaultdict(list)
+        )
+        for fact in self._facts:
+            if fact.time <= window_start:
+                continue
+            if fact.time > q:
+                break
+            if fact.arrival <= q:
+                facts_by_key[(fact.name, fact.key)].append(fact)
+
+        ctx = RuleContext(
+            window_start=window_start,
+            window_end=q,
+            events=events_by_type,
+            facts=facts_by_key,
+            params=self.params,
+        )
+
+        snapshot = RecognitionSnapshot(
+            query_time=q, window_start=window_start, n_events=n_events
+        )
+        t0 = _time.process_time()
+        for definition in self._definitions:
+            d0 = _time.process_time()
+            if isinstance(definition, DerivedEvent):
+                occurrences = sorted(
+                    definition.occurrences(ctx), key=lambda o: (o.time, o.key)
+                )
+                ctx._store_occurrences(definition.name, occurrences)
+                snapshot.occurrences[definition.name] = occurrences
+            elif isinstance(definition, ValuedFluent):
+                intervals = self._evaluate_valued(definition, ctx)
+                ctx._store_fluent(definition.name, intervals)
+                snapshot.fluents[definition.name] = intervals
+            elif isinstance(definition, SimpleFluent):
+                intervals = self._evaluate_simple(definition, ctx)
+                ctx._store_fluent(definition.name, intervals)
+                snapshot.fluents[definition.name] = intervals
+            elif isinstance(definition, StaticFluent):
+                intervals = dict(definition.derive(ctx))
+                ctx._store_fluent(definition.name, intervals)
+                snapshot.fluents[definition.name] = intervals
+            else:  # pragma: no cover - guarded by the type system
+                raise TypeError(f"unknown definition type: {definition!r}")
+            snapshot.per_definition[definition.name] = (
+                _time.process_time() - d0
+            )
+        snapshot.elapsed = _time.process_time() - t0
+
+        self._last_query = q
+        self._prune(window_start)
+        return snapshot
+
+    def _evaluate_simple(
+        self, definition: SimpleFluent, ctx: RuleContext
+    ) -> dict[FluentKey, IntervalList]:
+        """Evaluate a simple fluent: collect initiation/termination
+        points, seed inertia from the cache, build maximal intervals.
+
+        The seed is the fluent's value at the *first time-point of the
+        new window* (``window_start + EFFECT_DELAY``): events at or
+        before the window start are discarded, so the previous
+        evaluation — which knew all of them — is the authority on that
+        point.  When the fluent was holding, the episode keeps its
+        historical start from the cached interval (RTEC's interval
+        retention), so an episode longer than the window is not
+        re-reported with an artificial start at every slide.
+        """
+        inits: dict[FluentKey, list[int]] = defaultdict(list)
+        terms: dict[FluentKey, list[int]] = defaultdict(list)
+        for key, t in definition.initiations(ctx):
+            inits[key].append(t)
+        for key, t in definition.terminations(ctx):
+            terms[key].append(t)
+
+        seed_point = ctx.window_start + EFFECT_DELAY
+        keys = set(inits) | set(terms)
+        # Keys quiescent in this window persist by inertia if their
+        # cached intervals still hold at the seed point.
+        for (name, key), cached in self._fluent_cache.items():
+            if name == definition.name and key not in keys:
+                if cached.holds_at(seed_point):
+                    keys.add(key)
+
+        out: dict[FluentKey, IntervalList] = {}
+        for key in keys:
+            cached = self._fluent_cache.get(
+                (definition.name, key), IntervalList.empty()
+            )
+            seed_interval = cached.interval_at(seed_point)
+            intervals = make_intervals(
+                inits.get(key, ()),
+                terms.get(key, ()),
+                holding_at_start=seed_interval is not None,
+                window_start=(
+                    seed_interval[0]
+                    if seed_interval is not None
+                    else ctx.window_start
+                ),
+            )
+            self._fluent_cache[(definition.name, key)] = intervals
+            if intervals:
+                out[key] = intervals
+        return out
+
+    def _evaluate_valued(
+        self, definition: ValuedFluent, ctx: RuleContext
+    ) -> dict[FluentKey, IntervalList]:
+        """Evaluate a multi-valued fluent.
+
+        A grounding holds one value at a time: initiating ``F = V``
+        implicitly terminates the previously held value.  Results (and
+        the cache) are stored under ``grounding + (value,)``.  At one
+        time-point, explicit terminations apply before initiations, and
+        among several initiated values the largest (sorted order) wins.
+        """
+        inits: dict[FluentKey, list[tuple[int, Any]]] = defaultdict(list)
+        terms: dict[FluentKey, set[tuple[int, Any]]] = defaultdict(set)
+        for key, value, t in definition.initiations(ctx):
+            inits[key].append((t, value))
+        for key, value, t in definition.terminations(ctx):
+            terms[key].add((t, value))
+
+        seed_point = ctx.window_start + EFFECT_DELAY
+        base_keys = set(inits) | set(terms)
+        cached_by_base: dict[FluentKey, list[tuple[FluentKey, IntervalList]]]
+        cached_by_base = defaultdict(list)
+        for (name, stored_key), cached in self._fluent_cache.items():
+            if name == definition.name and stored_key:
+                cached_by_base[stored_key[:-1]].append((stored_key, cached))
+                if cached.holds_at(seed_point):
+                    base_keys.add(stored_key[:-1])
+
+        out: dict[FluentKey, IntervalList] = {}
+        for key in base_keys:
+            # Seed: the value (and historical episode start) held at the
+            # first point of the window, from the previous evaluation.
+            state: Any = None
+            state_start = ctx.window_start
+            for stored_key, cached in cached_by_base.get(key, ()):
+                seed_interval = cached.interval_at(seed_point)
+                if seed_interval is not None:
+                    state = stored_key[-1]
+                    state_start = seed_interval[0]
+                    break
+
+            points = sorted(
+                {t for t, _ in inits.get(key, ())}
+                | {t for t, _ in terms.get(key, ())}
+            )
+            spans: dict[Any, list[tuple[int, Optional[int]]]] = defaultdict(
+                list
+            )
+            for t in points:
+                terminated = (
+                    state is not None and (t, state) in terms.get(key, set())
+                )
+                initiated = sorted(
+                    v for pt, v in inits.get(key, ()) if pt == t
+                )
+                new_state = state
+                if terminated:
+                    new_state = None
+                if initiated:
+                    # Termination applies first; a simultaneous
+                    # initiation then takes over (largest value wins).
+                    new_state = initiated[-1]
+                if new_state != state:
+                    if state is not None:
+                        spans[state].append((state_start, t + EFFECT_DELAY))
+                    state = new_state
+                    state_start = t + EFFECT_DELAY
+            if state is not None:
+                spans[state].append((state_start, None))
+
+            # Refresh the cache for every previously known value of this
+            # grounding, then store the new spans.
+            for stored_key, _ in cached_by_base.get(key, ()):
+                self._fluent_cache[(definition.name, stored_key)] = (
+                    IntervalList.empty()
+                )
+            for value, intervals in spans.items():
+                extended = key + (value,)
+                interval_list = IntervalList(intervals)
+                self._fluent_cache[(definition.name, extended)] = (
+                    interval_list
+                )
+                if interval_list:
+                    out[extended] = interval_list
+        return out
+
+    def cached_intervals(self, name: str, key: FluentKey) -> IntervalList:
+        """The last computed intervals of a fluent grounding.
+
+        Inspection API for operators/tests between query times; for
+        valued fluents pass the extended ``key + (value,)`` grounding.
+        """
+        return self._fluent_cache.get((name, tuple(key)), IntervalList.empty())
+
+    def currently_holds(self, name: str, key: FluentKey) -> bool:
+        """Whether the fluent was holding at the last query time
+        (``False`` before any query or for unknown groundings)."""
+        if self._last_query is None:
+            return False
+        return self.cached_intervals(name, key).holds_at(self._last_query)
+
+    def run(self, until: int) -> Iterable[RecognitionSnapshot]:
+        """Run recognition at every query time up to ``until``.
+
+        Yields one :class:`RecognitionSnapshot` per query time
+        ``Q_i = start + i * step`` with ``Q_i <= until``.
+        """
+        q = self._start + self.step if self._last_query is None else (
+            self._last_query + self.step
+        )
+        while q <= until:
+            yield self.query(q)
+            q += self.step
+
+
+class RecognitionLog:
+    """Accumulates snapshots and extracts *fresh* results.
+
+    With overlapping windows the same CE occurrence is recognised by
+    several consecutive queries; downstream consumers (the
+    crowdsourcing component, the operator console) want each instance
+    once.  The log deduplicates occurrences by ``(type, key, time)`` and
+    fluent episodes by ``(name, key, interval start)``.
+    """
+
+    def __init__(self) -> None:
+        self.snapshots: list[RecognitionSnapshot] = []
+        self._seen_occurrences: set[tuple[str, FluentKey, int]] = set()
+        self._seen_episodes: set[tuple[str, FluentKey, int]] = set()
+
+    def add(self, snapshot: RecognitionSnapshot) -> "FreshResults":
+        """Record a snapshot and return what is new in it."""
+        self.snapshots.append(snapshot)
+        fresh_occurrences: list[Occurrence] = []
+        for name, occurrences in snapshot.occurrences.items():
+            for occ in occurrences:
+                token = (name, occ.key, occ.time)
+                if token not in self._seen_occurrences:
+                    self._seen_occurrences.add(token)
+                    fresh_occurrences.append(occ)
+        fresh_episodes: list[tuple[str, FluentKey, int, Optional[int]]] = []
+        for name, by_key in snapshot.fluents.items():
+            for key, intervals in by_key.items():
+                for start, end in intervals:
+                    token = (name, key, start)
+                    if token not in self._seen_episodes:
+                        self._seen_episodes.add(token)
+                        fresh_episodes.append((name, key, start, end))
+        return FreshResults(fresh_occurrences, fresh_episodes)
+
+    @property
+    def total_elapsed(self) -> float:
+        """Total CPU seconds across all recorded snapshots."""
+        return sum(s.elapsed for s in self.snapshots)
+
+    @property
+    def mean_elapsed(self) -> float:
+        """Mean CPU seconds per recognition step (Figure 4's metric)."""
+        if not self.snapshots:
+            return 0.0
+        return self.total_elapsed / len(self.snapshots)
+
+
+@dataclass
+class FreshResults:
+    """New occurrences/episodes surfaced by one recognition step."""
+
+    occurrences: list[Occurrence]
+    episodes: list[tuple[str, FluentKey, int, Optional[int]]]
+
+    def of_type(self, name: str) -> list[Occurrence]:
+        """Fresh occurrences of CE ``name``."""
+        return [o for o in self.occurrences if o.type == name]
+
+    def episodes_of(
+        self, name: str
+    ) -> list[tuple[str, FluentKey, int, Optional[int]]]:
+        """Fresh fluent episodes of fluent ``name``."""
+        return [e for e in self.episodes if e[0] == name]

@@ -1,0 +1,151 @@
+"""Answer-aggregation baselines for comparison with online EM.
+
+Section 5 motivates modelling participant reliability by contrasting
+with simpler aggregation: "the error of the average answer is usually
+smaller than the average error of each individual answer" (Galton's
+vox populi), and cites reliability-aware alternatives — EM (Raykar et
+al.), Bayesian uncertainty scores (Sheng et al.) and *sequential
+Bayesian estimation* (Donmez et al.).  Two baselines are implemented
+for the A6 ablation:
+
+* :class:`MajorityVote` — reliability-blind: the most frequent answer
+  wins (ties broken towards the prior);
+* :class:`SequentialBayes` — per-participant Beta posterior over the
+  probability of answering correctly, updated sequentially against the
+  consensus of each event (a light-weight stand-in for Donmez et al.'s
+  time-varying estimator).
+
+Both expose the same ``process(answer_set) -> CrowdEstimate`` surface
+as :class:`repro.crowd.online_em.OnlineEM`, so they are drop-in
+replacements in the crowdsourcing component.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .em import answer_likelihood
+from .model import AnswerSet, CONGESTION_LABEL
+from .online_em import CrowdEstimate
+
+
+@dataclass
+class MajorityVote:
+    """Reliability-blind aggregation: plurality of the answers.
+
+    The posterior reported is the normalised vote histogram blended
+    with the task prior, so downstream confidence fields stay
+    meaningful; ``peaked`` uses the same threshold as online EM.
+    """
+
+    peak_threshold: float = 0.99
+    congestion_label: str = CONGESTION_LABEL
+    peaked_events: int = 0
+    total_events: int = 0
+
+    def process(self, answer_set: AnswerSet) -> CrowdEstimate:
+        """Aggregate one event's answers by plurality."""
+        task = answer_set.task
+        counts = Counter(answer_set.answers.values())
+        total = sum(counts.values())
+        posterior = {
+            label: (counts.get(label, 0) / total) if total else task.prior[label]
+            for label in task.labels
+        }
+        decided = max(
+            task.labels,
+            key=lambda lb: (posterior[lb], task.prior[lb]),
+        )
+        peaked = posterior[decided] > self.peak_threshold
+        self.total_events += 1
+        if peaked:
+            self.peaked_events += 1
+        return CrowdEstimate(
+            posterior=posterior,
+            decided_label=decided,
+            value=(
+                "positive" if decided == self.congestion_label else "negative"
+            ),
+            peaked=peaked,
+        )
+
+
+@dataclass
+class SequentialBayes:
+    """Sequential Beta-posterior reliability estimation.
+
+    Each participant ``i`` carries a Beta(α_i, β_i) posterior over
+    their probability of answering *correctly*.  For each event the
+    label posterior is computed with the current mean reliabilities
+    (same likelihood as eqs. 6–7), the MAP label is taken as the
+    event's consensus, and each answering participant's Beta counters
+    are updated by whether they matched it.  Unlike online EM the
+    update is hard (match / no match), which is simpler but noisier —
+    exactly the trade-off the A6 ablation quantifies.
+    """
+
+    prior_alpha: float = 3.0
+    prior_beta: float = 1.0
+    peak_threshold: float = 0.99
+    congestion_label: str = CONGESTION_LABEL
+    #: Per-participant Beta counters over answering correctly.
+    counters: dict[str, tuple[float, float]] = field(default_factory=dict)
+    peaked_events: int = 0
+    total_events: int = 0
+
+    def __post_init__(self) -> None:
+        if self.prior_alpha <= 0 or self.prior_beta <= 0:
+            raise ValueError("Beta prior parameters must be positive")
+
+    def reliability(self, participant_id: str) -> float:
+        """Posterior-mean probability of answering correctly."""
+        alpha, beta = self.counters.get(
+            participant_id, (self.prior_alpha, self.prior_beta)
+        )
+        return alpha / (alpha + beta)
+
+    def estimate(self, participant_id: str) -> float:
+        """Error-probability view (1 − reliability), mirroring OnlineEM."""
+        return 1.0 - self.reliability(participant_id)
+
+    def process(self, answer_set: AnswerSet) -> CrowdEstimate:
+        """Aggregate one event and update the Beta counters."""
+        task = answer_set.task
+        n = len(task.labels)
+        weights = {}
+        for label in task.labels:
+            weight = task.prior[label]
+            for pid, answer in answer_set.answers.items():
+                error = self.estimate(pid)
+                weight *= answer_likelihood(answer, label, error, n)
+            weights[label] = weight
+        total = sum(weights.values())
+        if total <= 0:
+            posterior = dict(task.prior)
+        else:
+            posterior = {lb: w / total for lb, w in weights.items()}
+        decided = max(posterior, key=posterior.get)  # type: ignore[arg-type]
+
+        for pid, answer in answer_set.answers.items():
+            alpha, beta = self.counters.get(
+                pid, (self.prior_alpha, self.prior_beta)
+            )
+            if answer == decided:
+                alpha += 1.0
+            else:
+                beta += 1.0
+            self.counters[pid] = (alpha, beta)
+
+        peaked = posterior[decided] > self.peak_threshold
+        self.total_events += 1
+        if peaked:
+            self.peaked_events += 1
+        return CrowdEstimate(
+            posterior=posterior,
+            decided_label=decided,
+            value=(
+                "positive" if decided == self.congestion_label else "negative"
+            ),
+            peaked=peaked,
+        )

@@ -1,0 +1,123 @@
+"""The crowdsourcing component facade used by the integrated system.
+
+Wires the query execution engine (Section 5.3) to the online EM
+aggregator (Section 5.2): a ``sourceDisagreement`` CE from the event
+processing component becomes a :class:`~repro.crowd.model.DisagreementTask`,
+the engine queries selected participants, the online EM fuses their
+answers, and a ``crowd(LonInt, LatInt, Val)`` SDE is produced for RTEC,
+the traffic-modelling component and the city operators.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.events import Event
+from .engine import CrowdQuery, QueryExecutionEngine, QueryExecutionResult
+from .model import TRAFFIC_LABELS, DisagreementTask
+from .online_em import CrowdEstimate, OnlineEM
+
+
+@dataclass
+class CrowdsourcingOutcome:
+    """Everything produced for one source disagreement."""
+
+    task: DisagreementTask
+    execution: QueryExecutionResult
+    estimate: Optional[CrowdEstimate]
+    crowd_event: Optional[Event]
+
+
+class CrowdsourcingComponent:
+    """End-to-end crowdsourcing: select → query → aggregate → emit.
+
+    Parameters
+    ----------
+    engine:
+        The (simulated) query execution engine with registered devices.
+    aggregator:
+        The online EM estimator; shared state persists across events so
+        participant reliability keeps improving.
+    labels:
+        ``Val(X_t)`` presented for every disagreement.
+    """
+
+    def __init__(
+        self,
+        engine: QueryExecutionEngine,
+        aggregator: Optional[OnlineEM] = None,
+        labels: Sequence[str] = TRAFFIC_LABELS,
+    ):
+        self.engine = engine
+        self.aggregator = aggregator or OnlineEM()
+        self.labels = tuple(labels)
+        self._task_counter = 0
+        self.outcomes: list[CrowdsourcingOutcome] = []
+
+    def handle_disagreement(
+        self,
+        *,
+        intersection: str,
+        lon: float,
+        lat: float,
+        time: int,
+        prior: Optional[Mapping[str, float]] = None,
+        true_label: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> CrowdsourcingOutcome:
+        """Crowdsource one ``sourceDisagreement`` CE.
+
+        ``true_label`` is the simulation's ground truth driving the
+        simulated participants' answers; a real deployment would omit
+        it and receive human answers instead.
+
+        Returns the outcome; ``crowd_event`` is ``None`` when no
+        participant answered (the disagreement stays unresolved).
+        """
+        self._task_counter += 1
+        task = DisagreementTask(
+            task_id=self._task_counter,
+            labels=self.labels,
+            prior=dict(prior) if prior is not None else None,
+            lon=lon,
+            lat=lat,
+            time=time,
+            true_label=true_label,
+        )
+        execution = self.engine.execute(
+            CrowdQuery(task=task, deadline_ms=deadline_ms)
+        )
+
+        estimate: Optional[CrowdEstimate] = None
+        crowd_event: Optional[Event] = None
+        if execution.answer_set:
+            estimate = self.aggregator.process(execution.answer_set)
+            # The crowd event occurs when the slowest answer is in.
+            elapsed_s = max(
+                (e.total_ms for e in execution.executions if e.answered),
+                default=0.0,
+            ) / 1000.0
+            event_time = time + max(1, math.ceil(elapsed_s))
+            crowd_event = Event(
+                "crowd",
+                event_time,
+                {
+                    "intersection": intersection,
+                    "lon": lon,
+                    "lat": lat,
+                    "value": estimate.value,
+                    "label": estimate.decided_label,
+                    "confidence": estimate.posterior[estimate.decided_label],
+                },
+            )
+        outcome = CrowdsourcingOutcome(
+            task=task,
+            execution=execution,
+            estimate=estimate,
+            crowd_event=crowd_event,
+        )
+        self.outcomes.append(outcome)
+        return outcome

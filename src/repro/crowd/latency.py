@@ -1,0 +1,123 @@
+"""Network/engine latency model for the query execution engine.
+
+The paper's Figure 6 measures, per connection type, the three
+engine-side steps of a crowdsourcing task (averages over 10 runs):
+
+====================  =====  =====  =====
+step                   2G     3G    WiFi
+====================  =====  =====  =====
+trigger task          38–55 ms (no device communication)
+send push notification  467    169    184
+communication time      423    171    182
+====================  =====  =====  =====
+
+Human response time (opening the task, choosing the answer) is
+"typically a lot higher than the other steps" and excluded from the
+figure; the simulator models it separately as *think time*.
+
+This module provides a seeded, deterministic sampler around those
+calibration points so the reproduction regenerates Figure 6's rows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+#: Connection types known to the model.
+CONNECTION_TYPES = ("2g", "3g", "wifi")
+
+
+@dataclass(frozen=True)
+class StepLatency:
+    """Calibration of one engine step: mean and jitter (std), in ms."""
+
+    mean_ms: float
+    std_ms: float
+
+    def sample(self, rng: random.Random) -> float:
+        """One Gaussian draw, truncated at a 1 ms floor."""
+        return max(1.0, rng.gauss(self.mean_ms, self.std_ms))
+
+
+#: Figure 6 calibration: push notification latency per connection.
+PUSH_LATENCY: dict[str, StepLatency] = {
+    "2g": StepLatency(467.0, 45.0),
+    "3g": StepLatency(169.0, 18.0),
+    "wifi": StepLatency(184.0, 20.0),
+}
+
+#: Figure 6 calibration: task retrieve + answer round trip.
+COMMUNICATION_LATENCY: dict[str, StepLatency] = {
+    "2g": StepLatency(423.0, 40.0),
+    "3g": StepLatency(171.0, 18.0),
+    "wifi": StepLatency(182.0, 20.0),
+}
+
+#: Trigger-task latency bounds (worker selection + assignment).
+TRIGGER_RANGE_MS = (38.0, 55.0)
+
+
+class LatencyModel:
+    """Deterministic sampler of the engine's latency steps.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the private RNG; identical seeds reproduce identical
+        latency traces.
+    push, communication:
+        Optional overrides of the per-connection calibrations.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        push: dict[str, StepLatency] | None = None,
+        communication: dict[str, StepLatency] | None = None,
+    ):
+        self._rng = random.Random(seed)
+        self._push = dict(push or PUSH_LATENCY)
+        self._comm = dict(communication or COMMUNICATION_LATENCY)
+
+    def _check_connection(self, connection: str) -> str:
+        connection = connection.lower()
+        if connection not in self._push or connection not in self._comm:
+            raise ValueError(
+                f"unknown connection type: {connection!r} "
+                f"(known: {sorted(self._push)})"
+            )
+        return connection
+
+    def trigger_ms(self) -> float:
+        """Trigger-task latency: selection and assignment, engine-side."""
+        lo, hi = TRIGGER_RANGE_MS
+        return self._rng.uniform(lo, hi)
+
+    def push_ms(self, connection: str) -> float:
+        """Push-notification latency for a device on ``connection``."""
+        return self._push[self._check_connection(connection)].sample(self._rng)
+
+    def communication_ms(self, connection: str) -> float:
+        """Task retrieval + answer upload latency."""
+        return self._comm[self._check_connection(connection)].sample(self._rng)
+
+    def think_ms(self, mean_think_s: float) -> float:
+        """Human response time (excluded from Figure 6; long-tailed)."""
+        mean_ms = mean_think_s * 1000.0
+        return max(500.0, self._rng.gauss(mean_ms, mean_ms * 0.4))
+
+    def expected_engine_ms(self, connection: str) -> float:
+        """Expected engine-side end-to-end latency (no think time).
+
+        Used for the deadline admission test
+        ``comm_iq + comp_iq < deadline_q`` with historical means.
+        """
+        connection = self._check_connection(connection)
+        trigger = sum(TRIGGER_RANGE_MS) / 2.0
+        return (
+            trigger
+            + self._push[connection].mean_ms
+            + self._comm[connection].mean_ms
+        )

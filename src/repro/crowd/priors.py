@@ -1,0 +1,76 @@
+"""Event priors supplied by the CE processing component.
+
+Section 5.1: the prior ``P(X_t)`` over a disagreement's labels "can
+either be provided by the CE processing component, or be the uniform
+distribution.  E.g. if only 1 out of 4 buses at a given location
+indicates a congestion, the prior distribution could assign a lower
+prior probability to the congestion than if 3 out of 4 buses reported
+a congestion."  This module implements that construction: a smoothed
+Bernoulli vote over the congestion label, with the remaining mass
+spread uniformly over the other labels.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .model import CONGESTION_LABEL, TRAFFIC_LABELS, uniform_prior
+
+
+def bus_report_prior(
+    positive_reports: int,
+    total_reports: int,
+    *,
+    labels: Sequence[str] = TRAFFIC_LABELS,
+    congestion_label: str = CONGESTION_LABEL,
+    strength: float = 1.0,
+    pseudo_count: float = 1.0,
+) -> dict[str, float]:
+    """Prior over a disagreement's labels from nearby bus reports.
+
+    Parameters
+    ----------
+    positive_reports:
+        Buses near the location that reported congestion.
+    total_reports:
+        All bus reports near the location.
+    labels:
+        The label set ``Val(X_t)``; must contain ``congestion_label``.
+    strength:
+        How far the prior may deviate from uniform: 0 keeps it uniform,
+        1 lets the congestion mass range over the full smoothed vote.
+    pseudo_count:
+        Laplace smoothing added to each side of the vote, so a single
+        report never produces a degenerate prior.
+
+    Returns a distribution assigning ``congestion_label`` a probability
+    that grows with the fraction of positive reports, and splitting the
+    rest uniformly over the remaining labels.
+    """
+    if congestion_label not in labels:
+        raise ValueError(
+            f"congestion label {congestion_label!r} not in {tuple(labels)}"
+        )
+    if total_reports < 0 or positive_reports < 0:
+        raise ValueError("report counts must be non-negative")
+    if positive_reports > total_reports:
+        raise ValueError("positive reports cannot exceed total reports")
+    if not 0.0 <= strength <= 1.0:
+        raise ValueError("strength must be within [0, 1]")
+    if pseudo_count <= 0:
+        raise ValueError("pseudo count must be positive")
+
+    base = uniform_prior(labels)
+    if total_reports == 0 or strength == 0.0:
+        return base
+
+    vote = (positive_reports + pseudo_count) / (
+        total_reports + 2.0 * pseudo_count
+    )
+    uniform_mass = base[congestion_label]
+    congestion_mass = (1.0 - strength) * uniform_mass + strength * vote
+    remaining = 1.0 - congestion_mass
+    others = [label for label in labels if label != congestion_label]
+    prior = {label: remaining / len(others) for label in others}
+    prior[congestion_label] = congestion_mass
+    return prior

@@ -1,0 +1,143 @@
+"""Generic smartphone sensor probes over the MapReduce machinery.
+
+Section 5.3 closes by motivating the MapReduce decomposition beyond
+yes/no questions: "we could employ the sensors of the smartphones to
+extract data, such as their current speed or local humidity, as a Map
+task, and aggregate the intermediate data based on their density at
+the Reduce phase."  This module implements those numeric probes: each
+map worker samples a quantity from their device, and a reduce step
+aggregates the readings — optionally weighting by the local density of
+participants, so a cluster of ten phones in one street does not
+dominate a city-wide average.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.geo import distance_m
+from .engine import QueryExecutionEngine
+from .model import Participant
+
+#: A map task: read one numeric quantity from a participant's device.
+ProbeFunction = Callable[[Participant], float]
+
+
+@dataclass(frozen=True)
+class SensorProbe:
+    """A numeric crowd-sensing request.
+
+    Parameters
+    ----------
+    quantity:
+        Human-readable name ("speed_kmh", "humidity", ...).
+    read:
+        The map function executed on each device.
+    reducer:
+        ``"mean"``, ``"median"`` or ``"density_weighted"`` — the last
+        one weights each reading by the inverse local participant
+        density (readings from crowded spots count less individually).
+    density_radius_m:
+        Neighbourhood radius for the density weighting.
+    reply_window_ms:
+        Devices slower than this (engine latency; probes need no human
+        think time) do not contribute.
+    """
+
+    quantity: str
+    read: ProbeFunction
+    reducer: str = "mean"
+    density_radius_m: float = 500.0
+    reply_window_ms: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        if self.reducer not in ("mean", "median", "density_weighted"):
+            raise ValueError(f"unknown reducer: {self.reducer!r}")
+        if self.density_radius_m <= 0:
+            raise ValueError("density radius must be positive")
+
+
+@dataclass
+class ProbeReading:
+    """One device's contribution."""
+
+    participant_id: str
+    value: float
+    lon: float
+    lat: float
+    latency_ms: float
+    weight: float = 1.0
+
+
+@dataclass
+class ProbeResult:
+    """Outcome of one sensor probe."""
+
+    probe: SensorProbe
+    readings: list[ProbeReading] = field(default_factory=list)
+    aggregate: Optional[float] = None
+
+    @property
+    def n_readings(self) -> int:
+        return len(self.readings)
+
+
+def execute_probe(
+    engine: QueryExecutionEngine, probe: SensorProbe
+) -> ProbeResult:
+    """Run a sensor probe over an engine's online devices.
+
+    Map phase: every online participant's device is pushed the probe,
+    executes ``probe.read`` and uploads the value; devices whose engine
+    latency exceeds the reply window are dropped.  Reduce phase: the
+    selected reducer aggregates the readings.
+    """
+    model = engine.latency_model
+    result = ProbeResult(probe=probe)
+    for participant in engine.online_participants():
+        latency = (
+            model.trigger_ms()
+            + model.push_ms(participant.connection)
+            + model.communication_ms(participant.connection)
+        )
+        if latency > probe.reply_window_ms:
+            continue
+        result.readings.append(
+            ProbeReading(
+                participant_id=participant.participant_id,
+                value=float(probe.read(participant)),
+                lon=participant.lon,
+                lat=participant.lat,
+                latency_ms=latency,
+            )
+        )
+    if not result.readings:
+        return result
+
+    if probe.reducer == "mean":
+        result.aggregate = statistics.fmean(
+            r.value for r in result.readings
+        )
+    elif probe.reducer == "median":
+        result.aggregate = statistics.median(
+            r.value for r in result.readings
+        )
+    else:  # density_weighted
+        for reading in result.readings:
+            neighbours = sum(
+                1
+                for other in result.readings
+                if distance_m(
+                    reading.lon, reading.lat, other.lon, other.lat
+                )
+                <= probe.density_radius_m
+            )
+            reading.weight = 1.0 / neighbours
+        total_weight = sum(r.weight for r in result.readings)
+        result.aggregate = (
+            sum(r.value * r.weight for r in result.readings) / total_weight
+        )
+    return result

@@ -1,0 +1,221 @@
+"""Ground-truth city traffic dynamics (the data the sensors observe).
+
+The real deployment observes an unknowable true traffic state; the
+reproduction needs a *known* one so that CE recognition, crowdsourcing
+and GP estimation can be validated.  The model follows the fundamental
+diagram of traffic flow (which the paper's rule-set (2) thresholds are
+based on) in its Greenshields form::
+
+    v(k) = v_free · (1 − k / k_jam)         (speed-density relation)
+    q(k) = k · v(k)                          (flow-density relation)
+
+Per-junction density is composed of:
+
+* a base level increasing towards the city centre;
+* a daily profile with morning and evening rush-hour peaks;
+* smooth per-junction pseudo-random variation (seeded sinusoids); and
+* localised *incidents* that push density towards jam level around a
+  junction for a bounded period — these create the congestions the CEP
+  component must detect.
+
+Everything is deterministic given the seed; no wall-clock randomness.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .network import StreetNetwork
+
+#: Greenshields parameters: free-flow speed and jam density.
+FREE_FLOW_SPEED_KMH = 50.0
+JAM_DENSITY_VEH_KM = 120.0
+
+#: A junction counts as congested above this density (veh/km).  Chosen
+#: on the congested branch of the fundamental diagram and consistent
+#: with the default rule-set (2) thresholds.
+CONGESTION_DENSITY = 60.0
+
+SECONDS_PER_HOUR = 3600
+
+
+def greenshields_speed(density: float) -> float:
+    """Speed (km/h) at ``density`` (veh/km) under Greenshields."""
+    density = min(max(density, 0.0), JAM_DENSITY_VEH_KM)
+    return FREE_FLOW_SPEED_KMH * (1.0 - density / JAM_DENSITY_VEH_KM)
+
+
+def greenshields_flow(density: float) -> float:
+    """Flow (veh/h) at ``density`` (veh/km) under Greenshields."""
+    return min(max(density, 0.0), JAM_DENSITY_VEH_KM) * greenshields_speed(
+        density
+    )
+
+
+def daily_profile(t: int) -> float:
+    """Demand multiplier over the day: rush peaks at ~08:30 and ~17:30.
+
+    ``t`` is in seconds from midnight; the profile is 1.0 off-peak and
+    rises towards ~2.2 at the peaks, with a night-time dip.
+    """
+    hours = (t / SECONDS_PER_HOUR) % 24.0
+    morning = 1.2 * math.exp(-(((hours - 8.5) / 1.3) ** 2))
+    evening = 1.1 * math.exp(-(((hours - 17.5) / 1.5) ** 2))
+    night_dip = -0.55 * math.exp(-(((hours - 3.5) / 2.5) ** 2))
+    return 1.0 + morning + evening + night_dip
+
+
+@dataclass(frozen=True)
+class Incident:
+    """A localised disruption raising density around a junction."""
+
+    node: object
+    start: int
+    duration: int
+    #: Added density at the epicentre (veh/km); halved at neighbours.
+    severity: float = 70.0
+
+    def active(self, t: int) -> bool:
+        """Whether the incident is in progress at ``t``."""
+        return self.start <= t < self.start + self.duration
+
+
+@dataclass
+class TrafficGroundTruth:
+    """Deterministic true traffic state over a street network.
+
+    Parameters
+    ----------
+    network:
+        The street graph.
+    seed:
+        Seed for the per-junction variation and incident placement.
+    base_density:
+        Off-peak density far from the centre (veh/km).
+    centre_boost:
+        Extra density at the exact centre, decaying outwards.
+    incidents:
+        Explicit incidents; when ``None``, ``n_random_incidents`` are
+        placed pseudo-randomly inside ``incident_window``.
+    """
+
+    network: StreetNetwork
+    seed: int = 0
+    base_density: float = 14.0
+    centre_boost: float = 22.0
+    incidents: Optional[list[Incident]] = None
+    n_random_incidents: int = 6
+    incident_window: tuple[int, int] = (0, 24 * SECONDS_PER_HOUR)
+    _phase: dict = field(default_factory=dict, repr=False)
+    _neighbour_cache: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        rng = random.Random(self.seed)
+        # Spatially-smooth demand field: a few seeded plane waves over
+        # lon/lat.  Traffic demand is spatially correlated (that is the
+        # premise of the GP traffic model), so neighbouring junctions
+        # get similar amplitudes, with only a small iid component.
+        waves = [
+            (
+                rng.uniform(20.0, 60.0),  # spatial frequency (per degree)
+                rng.uniform(0.0, 2.0 * math.pi),  # orientation
+                rng.uniform(0.0, 2.0 * math.pi),  # phase
+            )
+            for _ in range(3)
+        ]
+        for node in self.network.graph.nodes:
+            lon, lat = self.network.position(node)
+            field = sum(
+                math.sin(
+                    freq * (lon * math.cos(theta) + lat * math.sin(theta))
+                    + phase
+                )
+                for freq, theta, phase in waves
+            ) / 3.0
+            amplitude = 1.0 + 0.25 * field + rng.uniform(-0.05, 0.05)
+            self._phase[node] = (rng.uniform(0.0, 2.0 * math.pi), amplitude)
+        if self.incidents is None:
+            self.incidents = self._random_incidents(rng)
+
+    def _random_incidents(self, rng: random.Random) -> list[Incident]:
+        nodes = list(self.network.graph.nodes)
+        lo, hi = self.incident_window
+        span = max(hi - lo, 1)
+        out = []
+        for _ in range(self.n_random_incidents):
+            out.append(
+                Incident(
+                    node=rng.choice(nodes),
+                    start=lo + rng.randrange(span),
+                    duration=rng.randrange(20 * 60, 90 * 60),
+                    severity=rng.uniform(55.0, 90.0),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    def _centre_factor(self, node) -> float:
+        lon, lat = self.network.position(node)
+        c_lon, c_lat = self.network.centre
+        lon_min, lat_min, lon_max, lat_max = self.network.bbox
+        # Normalised distance from the centre in [0, ~1].
+        d = math.hypot(
+            (lon - c_lon) / (lon_max - lon_min),
+            (lat - c_lat) / (lat_max - lat_min),
+        ) * 2.0
+        return math.exp(-2.5 * d * d)
+
+    def _incident_density(self, node, t: int) -> float:
+        extra = 0.0
+        for incident in self.incidents:
+            if not incident.active(t):
+                continue
+            if incident.node == node:
+                extra += incident.severity
+            else:
+                if incident.node not in self._neighbour_cache:
+                    self._neighbour_cache[incident.node] = set(
+                        self.network.graph.neighbors(incident.node)
+                    )
+                if node in self._neighbour_cache[incident.node]:
+                    extra += incident.severity / 2.0
+        return extra
+
+    def density(self, node, t: int) -> float:
+        """True density (veh/km) at a junction and time."""
+        phase, amplitude = self._phase[node]
+        base = self.base_density + self.centre_boost * self._centre_factor(
+            node
+        )
+        demand = base * daily_profile(t) * amplitude
+        wiggle = 1.5 * math.sin(2.0 * math.pi * t / 1800.0 + phase)
+        density = demand + wiggle + self._incident_density(node, t)
+        return min(max(density, 0.0), JAM_DENSITY_VEH_KM)
+
+    def flow(self, node, t: int) -> float:
+        """True flow (veh/h) at a junction and time (Greenshields)."""
+        return greenshields_flow(self.density(node, t))
+
+    def speed(self, node, t: int) -> float:
+        """True speed (km/h) at a junction and time."""
+        return greenshields_speed(self.density(node, t))
+
+    def is_congested(self, node, t: int) -> bool:
+        """Whether a junction is truly congested at ``t``."""
+        return self.density(node, t) >= CONGESTION_DENSITY
+
+    def congestion_label(self, node, t: int) -> str:
+        """Ground-truth crowd label at a junction (for simulated
+        participants): ``congestion`` or ``free_flow``."""
+        return "congestion" if self.is_congested(node, t) else "free_flow"
+
+    def congested_nodes(self, t: int) -> list:
+        """All congested junctions at ``t``."""
+        return [
+            node
+            for node in self.network.graph.nodes
+            if self.is_congested(node, t)
+        ]

@@ -1,0 +1,77 @@
+"""Streams-framework analog (the paper's Sections 2–3 middleware).
+
+Data items are key/value dicts; *sources* feed *processes* (chains of
+*processors*) connected by *queues*, with shared *services*; the graph
+can be described in XML and is executed deterministically in event
+time by :class:`StreamRuntime`.
+"""
+
+from .items import (
+    ARRIVAL_KEY,
+    SOURCE_KEY,
+    TIME_KEY,
+    DataItem,
+    item_arrival,
+    item_source,
+    item_time,
+    iter_attributes,
+    make_item,
+    payload_of,
+)
+from .processes import Process, Queue, Source
+from .processors import (
+    Collect,
+    Counter,
+    Deduplicate,
+    EmitTo,
+    Filter,
+    Processor,
+    ProcessorContext,
+    SelectKeys,
+    SetAttributes,
+    Tap,
+    Throttle,
+    Transform,
+    TumblingAggregate,
+    normalise_result,
+)
+from .runtime import RunStats, StreamRuntime, Topology
+from .services import ServiceRegistry
+from .xmlconfig import XmlConfigError, coerce_attribute, parse_topology
+
+__all__ = [
+    "DataItem",
+    "TIME_KEY",
+    "ARRIVAL_KEY",
+    "SOURCE_KEY",
+    "make_item",
+    "item_time",
+    "item_arrival",
+    "item_source",
+    "payload_of",
+    "iter_attributes",
+    "Source",
+    "Queue",
+    "Process",
+    "Processor",
+    "ProcessorContext",
+    "Filter",
+    "Transform",
+    "SetAttributes",
+    "SelectKeys",
+    "Tap",
+    "Collect",
+    "EmitTo",
+    "Counter",
+    "TumblingAggregate",
+    "Throttle",
+    "Deduplicate",
+    "normalise_result",
+    "ServiceRegistry",
+    "Topology",
+    "StreamRuntime",
+    "RunStats",
+    "parse_topology",
+    "coerce_attribute",
+    "XmlConfigError",
+]

@@ -1,0 +1,166 @@
+"""Deterministic event-time runtime for the Streams analog.
+
+The original Streams framework compiles the data-flow description "into
+a computation graph for a stream processing engine" (paper, Section 3)
+and executes it with threads.  For a reproducible evaluation we run the
+graph single-threaded in simulated *event time*: all source items are
+merged by arrival time and pushed through their consuming processes;
+items a process emits to a queue are delivered to the queue's consumers
+at the same timestamp, before any later source item.  The result is a
+deterministic execution whose outputs depend only on the inputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .items import DataItem, item_arrival
+from .processes import Process, Queue, Source
+from .processors import ProcessorContext, normalise_result
+from .services import ServiceRegistry
+
+
+@dataclass
+class RunStats:
+    """Bookkeeping of one topology execution."""
+
+    items_ingested: int = 0
+    items_delivered: int = 0
+    per_process: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def record_process(self, process: Process) -> None:
+        """Store a process's consumed/produced counters."""
+        self.per_process[process.name] = (process.consumed, process.produced)
+
+
+class Topology:
+    """A data-flow graph: sources, queues, processes and services."""
+
+    def __init__(self) -> None:
+        self.sources: dict[str, Source] = {}
+        self.queues: dict[str, Queue] = {}
+        self.processes: dict[str, Process] = {}
+        self.services = ServiceRegistry()
+
+    # -- construction ----------------------------------------------------
+    def add_source(self, source: Source) -> Source:
+        """Register a source stream."""
+        if source.name in self.sources:
+            raise ValueError(f"duplicate source: {source.name!r}")
+        self.sources[source.name] = source
+        return source
+
+    def add_queue(self, name: str) -> Queue:
+        """Register (or fetch) a named queue."""
+        if name not in self.queues:
+            self.queues[name] = Queue(name)
+        return self.queues[name]
+
+    def add_process(self, process: Process) -> Process:
+        """Register a process node."""
+        if process.name in self.processes:
+            raise ValueError(f"duplicate process: {process.name!r}")
+        self.processes[process.name] = process
+        if process.output is not None:
+            self.add_queue(process.output)
+        return self.processes[process.name]
+
+    def validate(self) -> None:
+        """Check that every process input resolves to a source/queue."""
+        for process in self.processes.values():
+            known = process.input in self.sources or process.input in self.queues
+            if not known:
+                raise ValueError(
+                    f"process {process.name!r} consumes unknown input "
+                    f"{process.input!r}"
+                )
+
+
+class StreamRuntime:
+    """Executes a :class:`Topology` deterministically."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self._contexts: dict[str, ProcessorContext] = {}
+        #: Arrival time of the item currently being processed.
+        self.now: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _consumers_of(self, input_name: str) -> list[Process]:
+        return [
+            p
+            for p in self.topology.processes.values()
+            if p.input == input_name
+        ]
+
+    def run(self) -> RunStats:
+        """Drain all sources through the graph; returns run statistics."""
+        topo = self.topology
+        topo.validate()
+        stats = RunStats()
+
+        # Initialise processor chains.
+        for process in topo.processes.values():
+            context = ProcessorContext(services=topo.services)
+            self._contexts[process.name] = context
+            for processor in process.processors:
+                processor.init(context)
+        topo.services.start_all()
+
+        # Seed the schedule with all source items, merged by arrival.
+        heap: list[tuple[int, int, str, DataItem]] = []
+        seq = 0
+        for source in topo.sources.values():
+            for item in source:
+                heapq.heappush(heap, (item_arrival(item), seq, source.name, item))
+                seq += 1
+                stats.items_ingested += 1
+
+        while heap:
+            arrival, _, input_name, item = heapq.heappop(heap)
+            self.now = arrival
+            # Queue items were already retained at emission time; here
+            # they are only forwarded to consuming processes (if any).
+            for process in self._consumers_of(input_name):
+                for out_item in self._run_chain(process, dict(item)):
+                    stats.items_delivered += 1
+                    if process.output is not None:
+                        topo.queues[process.output].put(dict(out_item))
+                        heapq.heappush(
+                            heap,
+                            (arrival, seq, process.output, out_item),
+                        )
+                        seq += 1
+                # Explicit context emissions go to their queues too.
+                context = self._contexts[process.name]
+                for queue_name, emitted in context.drain_emissions():
+                    queue = topo.add_queue(queue_name)
+                    queue.put(dict(emitted))
+                    heapq.heappush(heap, (arrival, seq, queue_name, emitted))
+                    seq += 1
+
+        for process in topo.processes.values():
+            for processor in process.processors:
+                processor.finish()
+            stats.record_process(process)
+        topo.services.stop_all()
+        return stats
+
+    def _run_chain(
+        self, process: Process, item: DataItem
+    ) -> Iterable[DataItem]:
+        """Push one item through a process's processor chain."""
+        process.consumed += 1
+        batch = [item]
+        for processor in process.processors:
+            next_batch: list[DataItem] = []
+            for current in batch:
+                next_batch.extend(normalise_result(processor.process(current)))
+            batch = next_batch
+            if not batch:
+                break
+        process.produced += len(batch)
+        return batch

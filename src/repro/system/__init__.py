@@ -1,0 +1,26 @@
+"""The integrated system: pipeline, console and Streams embeddings."""
+
+from .console import Alert, OperatorConsole
+from .pipeline import SystemConfig, SystemReport, UrbanTrafficSystem
+from .processors import (
+    CrowdsourcingProcessor,
+    FluentFeedbackProcessor,
+    RtecProcessor,
+)
+from .report import render_html_report, write_html_report
+from .topology import PaperTopology, build_paper_topology
+
+__all__ = [
+    "Alert",
+    "OperatorConsole",
+    "SystemConfig",
+    "SystemReport",
+    "UrbanTrafficSystem",
+    "RtecProcessor",
+    "CrowdsourcingProcessor",
+    "FluentFeedbackProcessor",
+    "PaperTopology",
+    "build_paper_topology",
+    "render_html_report",
+    "write_html_report",
+]

@@ -1,0 +1,468 @@
+"""The integrated urban-traffic-management system (paper, Figure 1).
+
+Wires all four components into the closed loop the paper describes:
+
+1. the Dublin SDE streams (bus + SCATS, four city regions) feed
+2. per-region RTEC engines performing (static or self-adaptive)
+   complex event recognition; recognised ``sourceDisagreement`` CEs go
+   to
+3. the crowdsourcing component, which queries participants near the
+   disagreement, fuses their answers with online EM, and feeds the
+   resulting ``crowd`` SDEs *back* into RTEC (closing the adaptation
+   loop of rule-sets (4)/(5)) while also labelling the CE for
+4. the city operators (alert console) and the traffic-modelling
+   component, which fills the sensor-coverage gaps with GP regression.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Literal, Optional
+
+from ..core.events import Event
+from ..core.rtec import RTEC, RecognitionLog
+from ..core.traffic import build_traffic_definitions, default_traffic_params
+from ..crowd import (
+    CrowdsourcingComponent,
+    LocationPolicy,
+    OnlineEM,
+    Participant,
+    QueryExecutionEngine,
+    RewardLedger,
+    bus_report_prior,
+)
+from ..dublin import REGIONS, DublinScenario, greenshields_flow
+from ..traffic_model import (
+    CONGESTED_FLOW,
+    FREE_FLOW,
+    RollingFlowEstimator,
+    TrafficFlowModel,
+    render_flow_map,
+    write_city_svg,
+)
+from .console import OperatorConsole
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Configuration of the integrated system."""
+
+    #: RTEC working memory and step (seconds).  Window > step tolerates
+    #: delayed SDEs (paper, Figure 2).
+    window: int = 600
+    step: int = 300
+    #: Static vs self-adaptive recognition, and the noisy-rule variant.
+    adaptive: bool = True
+    noisy_variant: Literal["crowd", "pessimistic"] = "crowd"
+    #: Structured intersection definition (sensor -> approach ->
+    #: intersection) and crowd-based SCATS reliability evaluation
+    #: (requires ``adaptive``).
+    structured_intersections: bool = False
+    scats_reliability: bool = False
+    #: Distribute recognition across the four city regions (Section 7.1)
+    #: or run a single engine.
+    distribute_by_region: bool = True
+    #: Crowdsourcing: number of simulated participants and their
+    #: error-probability range; participants are scattered near SCATS
+    #: intersections.
+    crowd_enabled: bool = True
+    n_participants: int = 60
+    participant_error_range: tuple[float, float] = (0.05, 0.5)
+    participant_radius_m: float = 800.0
+    #: Real-time requirement forwarded to the query engine: workers
+    #: whose expected engine latency exceeds this are not queried
+    #: (None disables the admission test).
+    crowd_deadline_ms: Optional[float] = None
+    #: "To minimise the impact on the participants" (Section 5) the
+    #: same intersection is not re-queried within this cooldown, and a
+    #: disagreement is only deemed *significant* when at least
+    #: ``crowd_min_support`` distinct buses disagreed in the window.
+    crowd_cooldown_s: int = 600
+    crowd_min_support: int = 1
+    #: Build disagreement priors from nearby bus reports (Section 5.1's
+    #: "1 out of 4 buses" example) instead of uniform priors.
+    ce_priors: bool = True
+    #: Window (seconds) of bus reports feeding those priors.
+    prior_window: int = 600
+    #: Settle participant rewards at the end of the run.
+    rewards: bool = True
+    #: GP hyperparameters for the traffic-model snapshot.
+    gp_alpha: float = 5.0
+    gp_beta: float = 0.05
+    gp_noise: float = 40.0
+    #: Flow-field estimation source: ``True`` fits the GP on the
+    #: *measured* SCATS flows (plus crowd pseudo-observations) kept by
+    #: a rolling estimator; ``False`` reads the ground truth directly
+    #: (useful for substrate debugging).
+    use_measured_flows: bool = True
+    flow_staleness_s: int = 1800
+    seed: int = 0
+
+
+@dataclass
+class SystemReport:
+    """Everything one system run produced."""
+
+    logs: dict[str, RecognitionLog]
+    console: OperatorConsole
+    crowd_resolutions: int = 0
+    crowd_unresolved: int = 0
+    #: Disagreements skipped by the cooldown / significance filters.
+    crowd_suppressed: int = 0
+    flow_estimates: dict = field(default_factory=dict)
+    #: Participant rewards settled at the end of the run.
+    rewards: dict = field(default_factory=dict)
+
+    @property
+    def mean_recognition_time(self) -> float:
+        """Mean per-query CPU time across regions (Figure 4's metric)."""
+        logs = [log for log in self.logs.values() if log.snapshots]
+        if not logs:
+            return 0.0
+        return sum(log.mean_elapsed for log in logs) / len(logs)
+
+    def per_definition_profile(self) -> dict[str, float]:
+        """Mean CPU seconds per definition per query, across regions.
+
+        The operations view behind Figure 4: which rule suites carry
+        the recognition cost.
+        """
+        sums: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for log in self.logs.values():
+            for snapshot in log.snapshots:
+                for name, elapsed in snapshot.per_definition.items():
+                    sums[name] = sums.get(name, 0.0) + elapsed
+                    counts[name] = counts.get(name, 0) + 1
+        return {
+            name: sums[name] / counts[name] for name in sums
+        }
+
+    def total_occurrences(self, name: str) -> int:
+        """Distinct occurrences of CE ``name`` across all regions."""
+        total = 0
+        for log in self.logs.values():
+            seen = set()
+            for snapshot in log.snapshots:
+                for occ in snapshot.all_occurrences(name):
+                    seen.add((occ.key, occ.time))
+            total += len(seen)
+        return total
+
+
+class UrbanTrafficSystem:
+    """Orchestrates a full scenario run with the feedback loop closed."""
+
+    def __init__(
+        self,
+        scenario: DublinScenario,
+        config: Optional[SystemConfig] = None,
+    ):
+        self.scenario = scenario
+        self.config = config or SystemConfig()
+        cfg = self.config
+
+        params = default_traffic_params()
+        regions = list(REGIONS) if cfg.distribute_by_region else ["city"]
+        self.engines: dict[str, RTEC] = {}
+        for region in regions:
+            definitions = build_traffic_definitions(
+                scenario.topology,
+                adaptive=cfg.adaptive,
+                noisy_variant=cfg.noisy_variant,
+                structured_intersections=cfg.structured_intersections,
+                scats_reliability=cfg.scats_reliability,
+            )
+            self.engines[region] = RTEC(
+                definitions, window=cfg.window, step=cfg.step, params=params
+            )
+
+        self.console = OperatorConsole()
+        self.crowd: Optional[CrowdsourcingComponent] = None
+        self.reward_ledger: Optional[RewardLedger] = None
+        if cfg.crowd_enabled:
+            self.crowd = self._build_crowd_component()
+            if cfg.rewards:
+                self.reward_ledger = RewardLedger()
+        #: Rolling city-wide flow field fed by measured SCATS readings
+        #: and crowd pseudo-observations ("this step is repeated
+        #: continuously", Section 7.3).
+        self.flow_estimator = RollingFlowEstimator(
+            scenario.network.graph,
+            alpha=cfg.gp_alpha,
+            beta=cfg.gp_beta,
+            noise=cfg.gp_noise,
+            staleness_s=cfg.flow_staleness_s,
+        )
+        #: Recent bus congestion reports per intersection, feeding the
+        #: Section 5.1 priors; populated during run().
+        self._bus_reports: dict[str, list[tuple[int, int]]] = {}
+        #: Last crowd query time per intersection (cooldown filter).
+        self._last_query_at: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _build_crowd_component(self) -> CrowdsourcingComponent:
+        """Scatter simulated participants around SCATS intersections."""
+        cfg = self.config
+        rng = random.Random(cfg.seed + 100)
+        engine = QueryExecutionEngine(
+            policy=LocationPolicy(radius_m=cfg.participant_radius_m),
+            seed=cfg.seed + 101,
+        )
+        intersections = self.scenario.topology.ids()
+        lo, hi = cfg.participant_error_range
+        for i in range(cfg.n_participants):
+            int_id = rng.choice(intersections)
+            lon, lat = self.scenario.topology.location(int_id)
+            engine.register(
+                Participant(
+                    participant_id=f"C{i:03d}",
+                    error_probability=rng.uniform(lo, hi),
+                    lon=lon + rng.uniform(-0.002, 0.002),
+                    lat=lat + rng.uniform(-0.002, 0.002),
+                    connection=rng.choice(("2g", "3g", "wifi")),
+                )
+            )
+        return CrowdsourcingComponent(engine, aggregator=OnlineEM())
+
+    # ------------------------------------------------------------------
+    def _index_inputs(self, data) -> None:
+        """Feed the flow estimator and the prior index from the raw
+        SDE stream (one pass; both are O(stream))."""
+        for event in data.events:
+            if event.type != "traffic":
+                continue
+            node = self.scenario.node_of.get(event["intersection"])
+            if node is not None:
+                self.flow_estimator.observe(node, event["flow"], event.time)
+        if self.config.ce_priors:
+            topology = self.scenario.topology
+            for fact in data.facts:
+                if fact.name != "gps":
+                    continue
+                gps = fact.value
+                for int_id in topology.intersections_close_to(
+                    gps["lon"], gps["lat"]
+                ):
+                    self._bus_reports.setdefault(int_id, []).append(
+                        (fact.time, gps["congestion"])
+                    )
+
+    def _disagreement_prior(self, int_id: str, q: int):
+        """Section 5.1 prior from nearby bus reports, or None."""
+        if not self.config.ce_priors:
+            return None
+        reports = self._bus_reports.get(int_id)
+        if not reports:
+            return None
+        window_start = q - self.config.prior_window
+        recent = [bit for t, bit in reports if window_start < t <= q]
+        if not recent:
+            return None
+        return bus_report_prior(sum(recent), len(recent))
+
+    def run(self, start: int, end: int) -> SystemReport:
+        """Run the full loop over ``[start, end)`` and report."""
+        data = self.scenario.generate(start, end)
+        self._index_inputs(data)
+        if self.config.distribute_by_region:
+            split = self.scenario.split_by_region(data)
+        else:
+            split = {"city": (data.events, data.facts)}
+        for region, (events, facts) in split.items():
+            self.engines[region].feed(events, facts)
+
+        logs = {region: RecognitionLog() for region in self.engines}
+        report = SystemReport(logs=logs, console=self.console)
+
+        q = start + self.config.step
+        while q <= end:
+            for region, engine in self.engines.items():
+                snapshot = engine.query(q)
+                fresh = logs[region].add(snapshot)
+                self._surface_alerts(region, fresh)
+                self._handle_disagreements(region, q, snapshot, fresh, report)
+            q += self.config.step
+
+        report.flow_estimates = self.estimate_citywide(end)
+        if self.reward_ledger is not None and self.crowd is not None:
+            report.rewards = self.reward_ledger.settle(
+                self.crowd.aggregator
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    def _surface_alerts(self, region: str, fresh) -> None:
+        """Turn fresh CE episodes/occurrences into operator alerts."""
+        for name, key, start, _ in fresh.episodes:
+            if name == "scatsIntCongestion":
+                self.console.notify(
+                    start, "scats congestion", str(key[0]),
+                    "intersection sensors report congestion", region,
+                )
+            elif name == "busCongestion":
+                self.console.notify(
+                    start, "bus congestion", str(key[0]),
+                    "buses report congestion", region,
+                )
+            elif name == "noisyScats":
+                self.console.notify(
+                    start, "scats unreliable", str(key[0]),
+                    "crowd evidence contradicts the intersection sensors",
+                    region,
+                )
+            elif name == "densityTrend" and key[-1] == "rising":
+                # Proactive signal (Section 4.3's trend CEs): density
+                # building up before the congestion threshold trips.
+                self.console.notify(
+                    start, "density rising", str(key[0]),
+                    f"sensor {key[2]} approach {key[1]} trending up",
+                    region,
+                )
+        for occ in fresh.occurrences:
+            if occ.type == "congestionInTheMake":
+                self.console.notify(
+                    occ.time, "congestion in-the-make",
+                    f"({occ['lon']:.4f},{occ['lat']:.4f})",
+                    f"delay increases from {occ['support']} buses", region,
+                )
+
+    def _disagreement_support(self, snapshot, int_id: str) -> int:
+        """Distinct buses that disagreed at this intersection in the
+        window (the significance measure for querying the crowd)."""
+        buses = {
+            occ["bus"]
+            for occ in snapshot.all_occurrences("disagree")
+            if occ["intersection"] == int_id
+        }
+        return len(buses)
+
+    def _handle_disagreements(
+        self, region: str, q: int, snapshot, fresh, report: SystemReport
+    ) -> None:
+        """Crowdsource fresh source disagreements; feed answers back.
+
+        "To minimise the impact on the participants, the crowdsourcing
+        component is invoked ... when a significant disagreement in the
+        data sources is detected" (Section 5): an intersection is only
+        queried when enough distinct buses disagreed and it was not
+        already queried within the cooldown.
+        """
+        cfg = self.config
+        disagreements = fresh.episodes_of("sourceDisagreement")
+        for _, key, start, _ in disagreements:
+            int_id = key[0]
+            lon, lat = self.scenario.topology.location(int_id)
+            self.console.notify(
+                start, "source disagreement", str(int_id),
+                "buses and SCATS sensors disagree on congestion", region,
+            )
+            if self.crowd is None:
+                report.crowd_unresolved += 1
+                continue
+            last = self._last_query_at.get(int_id)
+            if last is not None and q - last < cfg.crowd_cooldown_s:
+                report.crowd_suppressed += 1
+                continue
+            if cfg.adaptive and cfg.crowd_min_support > 1:
+                support = self._disagreement_support(snapshot, int_id)
+                if support < cfg.crowd_min_support:
+                    report.crowd_suppressed += 1
+                    continue
+            self._last_query_at[int_id] = q
+            node = self.scenario.node_of[int_id]
+            truth = self.scenario.ground_truth.congestion_label(node, q)
+            outcome = self.crowd.handle_disagreement(
+                intersection=int_id,
+                lon=lon,
+                lat=lat,
+                time=q,
+                prior=self._disagreement_prior(int_id, q),
+                true_label=truth,
+                deadline_ms=self.config.crowd_deadline_ms,
+            )
+            if outcome.crowd_event is None:
+                report.crowd_unresolved += 1
+                continue
+            report.crowd_resolutions += 1
+            if self.reward_ledger is not None:
+                self.reward_ledger.record_answers(
+                    outcome.execution.answer_set.answers
+                )
+            # Crowd pseudo-observation for the flow field: a confirmed
+            # congestion pins the junction to the congested branch.
+            crowd_flow = (
+                CONGESTED_FLOW
+                if outcome.crowd_event["value"] == "positive"
+                else FREE_FLOW
+            )
+            self.flow_estimator.observe(
+                node, crowd_flow, outcome.crowd_event.time
+            )
+            # Feedback: the crowd SDE re-enters every engine so the
+            # noisy-bus rules can use it at the next query time.
+            for engine in self.engines.values():
+                engine.feed([outcome.crowd_event])
+            self.console.notify(
+                outcome.crowd_event.time, "crowd resolution", str(int_id),
+                f"crowd says {outcome.crowd_event['value']} "
+                f"(confidence {outcome.crowd_event['confidence']:.2f})",
+                region,
+            )
+
+    # ------------------------------------------------------------------
+    def estimate_citywide(self, t: int) -> dict:
+        """Traffic-model snapshot: flow estimates for every junction.
+
+        With ``use_measured_flows`` (the default) the GP is fitted on
+        the rolling estimator's fresh *measured* SCATS flows plus the
+        crowd pseudo-observations accumulated so far; the GP fills in
+        the unsensed junctions — the sparsity answer of Section 6.
+        Without it (or before any reading arrived) the true flows at
+        the SCATS junctions are used instead, which is useful when
+        debugging the substrate itself.
+        """
+        scenario = self.scenario
+        if self.config.use_measured_flows:
+            estimates = self.flow_estimator.estimate(t)
+            if estimates is not None:
+                return estimates
+        observations = {
+            node: greenshields_flow(
+                scenario.ground_truth.density(node, t)
+            )
+            for node in scenario.node_of.values()
+        }
+        model = TrafficFlowModel(
+            scenario.network.graph,
+            alpha=self.config.gp_alpha,
+            beta=self.config.gp_beta,
+            noise=self.config.gp_noise,
+        )
+        model.fit(observations)
+        return model.estimate()
+
+    def render_city_map(self, t: int) -> str:
+        """The operator's ASCII city map of estimated flows at ``t``."""
+        estimates = self.estimate_citywide(t)
+        return render_flow_map(self.scenario.network.positions(), estimates)
+
+    def export_city_svg(self, t: int, path) -> None:
+        """Write the operator map as an SVG image (Figure 9 analog).
+
+        Junction dots are shaded by *congestion* (low flow = red), the
+        street network is drawn underneath and SCATS junctions carry a
+        ring marker (Figures 7-8).
+        """
+        estimates = self.estimate_citywide(t)
+        peak = max(estimates.values(), default=0.0)
+        congestion = {n: peak - v for n, v in estimates.items()}
+        write_city_svg(
+            path,
+            self.scenario.network.positions(),
+            self.scenario.network.graph.edges,
+            values=congestion,
+            sensors=self.scenario.node_of.values(),
+            title=f"estimated congestion at t={t}s (red = congested)",
+        )

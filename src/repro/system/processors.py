@@ -1,0 +1,128 @@
+"""Streams-middleware embeddings of the analysis components.
+
+The paper integrates RTEC "by a dedicated processor in Streams that
+would forward the received SDEs to an RTEC instance ... Then, the
+actual event processing is triggered asynchronously and the derived
+CEs are emitted to a queue in the Streams framework" (Section 3), and
+implements the crowdsourcing steps as dedicated processors likewise.
+These classes reproduce that embedding so the whole loop can be wired
+as an XML data-flow graph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.rtec import RTEC, RecognitionLog
+from ..crowd import CrowdsourcingComponent
+from ..dublin.dataset import event_to_item, item_to_event, item_to_fact
+from ..streams.items import TIME_KEY, DataItem
+from ..streams.processors import Processor, ProcessorResult
+
+
+class RtecProcessor(Processor):
+    """Embeds an RTEC engine in a Streams process.
+
+    Consumes SDE/fluent data items, buffers them into the engine, and
+    triggers a recognition step whenever an item's arrival time crosses
+    the next query-time boundary.  Fresh CE occurrences and fluent
+    episodes are emitted as data items (``@type`` = CE name, episodes
+    flagged with ``episode=True``).
+    """
+
+    def __init__(self, engine: RTEC, *, start: int = 0):
+        self.engine = engine
+        self.log = RecognitionLog()
+        self._next_query = start + engine.step
+
+    def _recognise_until(self, t: int) -> list[DataItem]:
+        out: list[DataItem] = []
+        while self._next_query <= t:
+            snapshot = self.engine.query(self._next_query)
+            fresh = self.log.add(snapshot)
+            for occ in fresh.occurrences:
+                item = dict(occ.payload)
+                item["@type"] = occ.type
+                item[TIME_KEY] = occ.time
+                item["key"] = occ.key
+                out.append(item)
+            for name, key, start, end in fresh.episodes:
+                out.append(
+                    {
+                        "@type": name,
+                        TIME_KEY: start,
+                        "key": key,
+                        "episode": True,
+                        "end": end,
+                    }
+                )
+            self._next_query += self.engine.step
+        return out
+
+    def process(self, item: DataItem) -> ProcessorResult:
+        arrival = item.get("@arrival", item[TIME_KEY])
+        type_tag = item.get("@type", "")
+        if type_tag.startswith("fluent:"):
+            self.engine.feed(facts=[item_to_fact(item)])
+        else:
+            self.engine.feed(events=[item_to_event(item)])
+        return self._recognise_until(arrival)
+
+    def flush(self, until: int) -> list[DataItem]:
+        """Run any outstanding query times up to ``until`` (end of
+        stream)."""
+        return self._recognise_until(until)
+
+
+class CrowdsourcingProcessor(Processor):
+    """Embeds the crowdsourcing component in a Streams process.
+
+    Consumes ``sourceDisagreement`` episode items emitted by
+    :class:`RtecProcessor` and produces ``crowd`` SDE items carrying the
+    fused answer.  The ``truth_lookup`` callable supplies the simulated
+    ground truth (intersection id, time → label); a real deployment
+    would instead wait for human answers.
+    """
+
+    def __init__(
+        self,
+        component: CrowdsourcingComponent,
+        locate,
+        truth_lookup,
+    ):
+        self.component = component
+        self._locate = locate
+        self._truth = truth_lookup
+
+    def process(self, item: DataItem) -> ProcessorResult:
+        if item.get("@type") != "sourceDisagreement":
+            return None
+        int_id = item["key"][0]
+        lon, lat = self._locate(int_id)
+        t = item[TIME_KEY]
+        outcome = self.component.handle_disagreement(
+            intersection=int_id,
+            lon=lon,
+            lat=lat,
+            time=t,
+            true_label=self._truth(int_id, t),
+        )
+        if outcome.crowd_event is None:
+            return None
+        return event_to_item(outcome.crowd_event)
+
+
+class FluentFeedbackProcessor(Processor):
+    """Feeds ``crowd`` SDE items back into an RTEC engine.
+
+    Closes the loop in a Streams wiring: the crowd queue is consumed by
+    this processor, which injects the events so rule-sets (4)/(5) can
+    evaluate them at the next query time.
+    """
+
+    def __init__(self, engine: RTEC):
+        self.engine = engine
+
+    def process(self, item: DataItem) -> ProcessorResult:
+        self.engine.feed(events=[item_to_event(item)])
+        return item

@@ -1,0 +1,112 @@
+"""Self-contained HTML report of a system run.
+
+The paper's output requirement is operator-facing: "a simple,
+intuitive interactive map to present all traffic information and
+alerts" (Section 2).  This module renders a system run as a single
+HTML file — run summary, per-kind alert counts, the alert feed, the
+crowd outcomes and the SVG city map inline — with no external assets
+or scripts, so the file can be archived next to the benchmark outputs
+and opened anywhere.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from ..traffic_model.svg import render_city_svg
+from .pipeline import SystemReport, UrbanTrafficSystem
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #ccc; padding: 4px 10px; text-align: left; }
+th { background: #f0f0f0; }
+pre { background: #f7f7f7; padding: 1em; overflow-x: auto; }
+.num { text-align: right; }
+"""
+
+
+def render_html_report(
+    system: UrbanTrafficSystem,
+    report: SystemReport,
+    *,
+    at: int,
+    max_alerts: int = 40,
+) -> str:
+    """Render one run as a standalone HTML document string."""
+    console = report.console
+    rows = []
+    for kind, count in sorted(console.counts().items()):
+        rows.append(
+            f"<tr><td>{html.escape(kind)}</td>"
+            f'<td class="num">{count}</td></tr>'
+        )
+    counts_table = (
+        "<table><tr><th>alert kind</th><th>count</th></tr>"
+        + "".join(rows)
+        + "</table>"
+    )
+
+    feed = html.escape(console.render(limit=max_alerts))
+
+    estimates = system.estimate_citywide(at)
+    peak = max(estimates.values(), default=0.0)
+    congestion = {n: peak - v for n, v in estimates.items()}
+    svg = render_city_svg(
+        system.scenario.network.positions(),
+        system.scenario.network.graph.edges,
+        values=congestion,
+        sensors=system.scenario.node_of.values(),
+        title=f"estimated congestion at t={at}s (red = congested)",
+    )
+
+    reward_rows = "".join(
+        f"<tr><td>{html.escape(pid)}</td>"
+        f'<td class="num">{value:.2f}</td></tr>'
+        for pid, value in sorted(report.rewards.items())
+    )
+    rewards_section = (
+        "<h2>participant rewards</h2><table>"
+        "<tr><th>participant</th><th>reward</th></tr>"
+        f"{reward_rows}</table>"
+        if report.rewards
+        else ""
+    )
+
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>urban traffic management — run report</title>
+<style>{_STYLE}</style></head><body>
+<h1>Urban traffic management — run report</h1>
+<p>mean CE recognition time:
+{report.mean_recognition_time * 1000:.1f}&nbsp;ms/query ·
+crowd disagreements resolved: {report.crowd_resolutions}
+(unresolved: {report.crowd_unresolved})</p>
+<h2>alerts</h2>
+{counts_table}
+<h2>alert feed (last {max_alerts})</h2>
+<pre>{feed}</pre>
+{rewards_section}
+<h2>city map</h2>
+{svg}
+</body></html>
+"""
+
+
+def write_html_report(
+    system: UrbanTrafficSystem,
+    report: SystemReport,
+    path: str | Path,
+    *,
+    at: int,
+    max_alerts: int = 40,
+) -> Path:
+    """Render with :func:`render_html_report` and write to ``path``."""
+    path = Path(path)
+    path.write_text(
+        render_html_report(system, report, at=at, max_alerts=max_alerts),
+        encoding="utf-8",
+    )
+    return path

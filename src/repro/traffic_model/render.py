@@ -1,0 +1,90 @@
+"""Text rendering of city-wide flow estimates (the Figure 9 analog).
+
+The paper plots GP flow estimates "on a visual display ... and shaded
+according to their value.  High values obtain a red colour while low
+values obtain green colour."  In a terminal reproduction the display is
+an ASCII density map: junction estimates are bucketed onto a character
+grid and shaded by magnitude.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+#: Shades from low to high value (Fig. 9's green → red).
+SHADES = " .:-=+*#%@"
+
+
+def render_flow_map(
+    positions: Mapping,
+    values: Mapping,
+    *,
+    width: int = 72,
+    height: int = 24,
+    shades: str = SHADES,
+) -> str:
+    """Render ``values`` at lon/lat ``positions`` as an ASCII map.
+
+    Parameters
+    ----------
+    positions:
+        ``{node: (lon, lat)}`` for every node to draw.
+    values:
+        ``{node: value}``; nodes missing a value are skipped.
+    width, height:
+        Character-grid dimensions.
+    shades:
+        Characters ordered from low to high value.
+
+    Returns the multi-line map followed by a value legend.
+    """
+    if width < 2 or height < 2:
+        raise ValueError("map must be at least 2x2 characters")
+    if len(shades) < 2:
+        raise ValueError("need at least two shade characters")
+    drawable = [n for n in values if n in positions]
+    if not drawable:
+        raise ValueError("no drawable nodes (positions/values disjoint)")
+
+    lons = [positions[n][0] for n in drawable]
+    lats = [positions[n][1] for n in drawable]
+    lon_min, lon_max = min(lons), max(lons)
+    lat_min, lat_max = min(lats), max(lats)
+    lon_span = (lon_max - lon_min) or 1.0
+    lat_span = (lat_max - lat_min) or 1.0
+
+    vals = [float(values[n]) for n in drawable]
+    v_min, v_max = min(vals), max(vals)
+    v_span = (v_max - v_min) or 1.0
+
+    # Accumulate the max value per cell (congestion dominates).
+    cells: dict[tuple[int, int], float] = {}
+    for node in drawable:
+        lon, lat = positions[node]
+        col = min(int((lon - lon_min) / lon_span * (width - 1)), width - 1)
+        # Latitude grows northwards; rows grow downwards.
+        row = min(
+            int((lat_max - lat) / lat_span * (height - 1)), height - 1
+        )
+        value = float(values[node])
+        cells[(row, col)] = max(cells.get((row, col), value), value)
+
+    lines = []
+    for row in range(height):
+        chars = []
+        for col in range(width):
+            if (row, col) in cells:
+                norm = (cells[(row, col)] - v_min) / v_span
+                shade = shades[
+                    min(int(norm * (len(shades) - 1)), len(shades) - 1)
+                ]
+                chars.append(shade)
+            else:
+                chars.append(" ")
+        lines.append("".join(chars))
+
+    legend = (
+        f"low {v_min:.1f} [{shades[0]}{shades[len(shades) // 2]}"
+        f"{shades[-1]}] {v_max:.1f} high"
+    )
+    return "\n".join(lines) + "\n" + legend

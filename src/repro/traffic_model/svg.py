@@ -1,0 +1,127 @@
+"""SVG rendering of the street network and flow estimates.
+
+The paper's Figures 7–9 are city maps: the street network, the SCATS
+locations as dots, and the GP flow estimates shaded green (low) to red
+(congested).  This module writes the equivalent as standalone SVG —
+no external dependencies, fully deterministic — so the operator's
+"simple, intuitive map" (Section 2) exists as an actual image next to
+the terminal ASCII rendering.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from pathlib import Path
+from typing import Optional
+
+
+def _colour(norm: float) -> str:
+    """Green (low) → yellow → red (high), like Figure 9's shading."""
+    norm = min(max(norm, 0.0), 1.0)
+    if norm < 0.5:
+        red = int(255 * (norm * 2.0))
+        green = 200
+    else:
+        red = 255
+        green = int(200 * (1.0 - (norm - 0.5) * 2.0))
+    return f"#{red:02x}{green:02x}30"
+
+
+def _projector(positions: Mapping, width: int, height: int, margin: int):
+    lons = [p[0] for p in positions.values()]
+    lats = [p[1] for p in positions.values()]
+    lon_min, lon_max = min(lons), max(lons)
+    lat_min, lat_max = min(lats), max(lats)
+    lon_span = (lon_max - lon_min) or 1.0
+    lat_span = (lat_max - lat_min) or 1.0
+
+    def project(lon: float, lat: float) -> tuple[float, float]:
+        x = margin + (lon - lon_min) / lon_span * (width - 2 * margin)
+        y = margin + (lat_max - lat) / lat_span * (height - 2 * margin)
+        return (round(x, 1), round(y, 1))
+
+    return project
+
+
+def render_city_svg(
+    positions: Mapping,
+    edges: Iterable[tuple],
+    *,
+    values: Optional[Mapping] = None,
+    sensors: Iterable = (),
+    width: int = 900,
+    height: int = 600,
+    margin: int = 20,
+    title: str = "",
+) -> str:
+    """Render the city as an SVG document string.
+
+    Parameters
+    ----------
+    positions:
+        ``{node: (lon, lat)}`` junction coordinates.
+    edges:
+        ``(node_a, node_b)`` street segments (Figure 7's network).
+    values:
+        Optional ``{node: value}`` to shade junctions green→red
+        (Figure 9's flow estimates; *high value = red*, so pass
+        congestion-like quantities — e.g. ``max_flow - flow`` — when
+        red should mean congested).
+    sensors:
+        Nodes to mark with a black ring (Figure 8's SCATS locations).
+    """
+    if not positions:
+        raise ValueError("positions must not be empty")
+    project = _projector(positions, width, height, margin)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{margin}" y="{margin - 5}" font-size="13" '
+            f'font-family="sans-serif">{title}</text>'
+        )
+
+    parts.append('<g stroke="#b0b0b0" stroke-width="1">')
+    for a, b in edges:
+        if a not in positions or b not in positions:
+            continue
+        xa, ya = project(*positions[a])
+        xb, yb = project(*positions[b])
+        parts.append(f'<line x1="{xa}" y1="{ya}" x2="{xb}" y2="{yb}"/>')
+    parts.append("</g>")
+
+    if values:
+        drawable = {n: float(v) for n, v in values.items() if n in positions}
+        if drawable:
+            v_min = min(drawable.values())
+            v_span = (max(drawable.values()) - v_min) or 1.0
+            parts.append("<g>")
+            for node, value in drawable.items():
+                x, y = project(*positions[node])
+                colour = _colour((value - v_min) / v_span)
+                parts.append(
+                    f'<circle cx="{x}" cy="{y}" r="3" fill="{colour}"/>'
+                )
+            parts.append("</g>")
+
+    sensor_list = [n for n in sensors if n in positions]
+    if sensor_list:
+        parts.append('<g fill="none" stroke="black" stroke-width="1.2">')
+        for node in sensor_list:
+            x, y = project(*positions[node])
+            parts.append(f'<circle cx="{x}" cy="{y}" r="4.5"/>')
+        parts.append("</g>")
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_city_svg(path: str | Path, *args, **kwargs) -> Path:
+    """Render with :func:`render_city_svg` and write to ``path``."""
+    path = Path(path)
+    path.write_text(render_city_svg(*args, **kwargs), encoding="utf-8")
+    return path

@@ -1,0 +1,142 @@
+"""Tests for the bus-side CE definitions (rule-set (3), delayIncrease)."""
+
+from repro.core.intervals import IntervalList
+
+from .helpers import (
+    LAT,
+    LON,
+    M,
+    bus_report,
+    feed_reports,
+    make_engine,
+    make_topology,
+)
+
+
+class TestDelayIncrease:
+    def test_detected(self):
+        eng = make_engine()
+        feed_reports(eng, [
+            bus_report(100, delay=30),
+            bus_report(125, delay=150),  # +120 > 60 within 25 s
+        ])
+        snap = eng.query(3600)
+        occs = snap.all_occurrences("delayIncrease")
+        assert len(occs) == 1
+        occ = occs[0]
+        assert occ.key == ("B1",)
+        assert occ.time == 125
+        assert occ["delay_increase"] == 120
+
+    def test_small_increase_ignored(self):
+        eng = make_engine()
+        feed_reports(eng, [
+            bus_report(100, delay=30),
+            bus_report(125, delay=80),  # +50 <= 60
+        ])
+        snap = eng.query(3600)
+        assert snap.all_occurrences("delayIncrease") == []
+
+    def test_slow_increase_ignored(self):
+        eng = make_engine()
+        feed_reports(eng, [
+            bus_report(100, delay=30),
+            bus_report(300, delay=150),  # gap 200 s >= window 120
+        ])
+        snap = eng.query(3600)
+        assert snap.all_occurrences("delayIncrease") == []
+
+    def test_carries_both_positions(self):
+        eng = make_engine()
+        feed_reports(eng, [
+            bus_report(100, delay=30, lon=LON, lat=LAT),
+            bus_report(125, delay=150, lon=LON + 0.001, lat=LAT),
+        ])
+        occ = eng.query(3600).all_occurrences("delayIncrease")[0]
+        assert occ["from_lon"] == LON
+        assert occ["lon"] == LON + 0.001
+
+    def test_distinct_buses_do_not_pair(self):
+        eng = make_engine()
+        feed_reports(eng, [
+            bus_report(100, bus="B1", delay=30),
+            bus_report(125, bus="B2", delay=150),
+        ])
+        assert eng.query(3600).all_occurrences("delayIncrease") == []
+
+
+class TestBusCongestion:
+    def test_initiated_by_congestion_report_near_intersection(self):
+        eng = make_engine()
+        feed_reports(eng, [bus_report(100, congestion=1, lat=LAT + 50 * M)])
+        snap = eng.query(3600)
+        assert snap.intervals("busCongestion", ("I1",)).intervals == (
+            (101, None),
+        )
+
+    def test_far_report_ignored(self):
+        eng = make_engine()
+        feed_reports(eng, [bus_report(100, congestion=1, lon=LON + 0.01)])
+        snap = eng.query(3600)
+        assert not snap.intervals("busCongestion", ("I1",))
+
+    def test_terminated_by_different_bus(self):
+        # Rule-set (3): a possibly different bus reporting no congestion
+        # terminates the fluent.
+        eng = make_engine()
+        feed_reports(eng, [
+            bus_report(100, bus="B1", congestion=1),
+            bus_report(200, bus="B2", congestion=0),
+        ])
+        snap = eng.query(3600)
+        assert snap.intervals("busCongestion", ("I1",)).intervals == (
+            (101, 201),
+        )
+
+    def test_static_mode_keeps_noisy_bus_reports(self):
+        # In static recognition there is no `noisy` fluent at all.
+        eng = make_engine(adaptive=False)
+        feed_reports(eng, [bus_report(100, congestion=1)])
+        snap = eng.query(3600)
+        assert "noisy" not in snap.fluents
+        assert snap.intervals("busCongestion", ("I1",))
+
+
+class TestCongestionInTheMake:
+    def _delay_jump(self, bus, t0, lon=LON, lat=LAT):
+        return [
+            bus_report(t0, bus=bus, delay=30, lon=lon, lat=lat),
+            bus_report(t0 + 25, bus=bus, delay=150, lon=lon, lat=lat),
+        ]
+
+    def test_reinforced_by_second_bus(self):
+        eng = make_engine()
+        reports = self._delay_jump("B1", 100) + self._delay_jump("B2", 150)
+        feed_reports(eng, reports)
+        snap = eng.query(3600)
+        occs = snap.all_occurrences("congestionInTheMake")
+        assert occs, "two nearby delay jumps must reinforce each other"
+        assert occs[-1]["support"] == 2
+        assert set(occs[-1]["buses"]) == {"B1", "B2"}
+
+    def test_single_bus_not_enough(self):
+        eng = make_engine()
+        feed_reports(eng, self._delay_jump("B1", 100))
+        snap = eng.query(3600)
+        assert snap.all_occurrences("congestionInTheMake") == []
+
+    def test_distant_buses_not_clustered(self):
+        eng = make_engine(make_topology(n_intersections=2, spacing=0.05))
+        reports = self._delay_jump("B1", 100) + self._delay_jump(
+            "B2", 150, lon=LON + 0.05
+        )
+        feed_reports(eng, reports)
+        snap = eng.query(3600)
+        assert snap.all_occurrences("congestionInTheMake") == []
+
+    def test_stale_delay_jumps_not_clustered(self):
+        eng = make_engine()
+        reports = self._delay_jump("B1", 100) + self._delay_jump("B2", 1000)
+        feed_reports(eng, reports)
+        snap = eng.query(3600)
+        assert snap.all_occurrences("congestionInTheMake") == []

@@ -1,0 +1,87 @@
+"""Tests for the geographic helpers behind the ``close`` predicate."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.geo import SpatialGrid, close, distance_m
+
+# Dublin-ish reference point.
+LON, LAT = -6.26, 53.35
+
+
+class TestDistance:
+    def test_zero(self):
+        assert distance_m(LON, LAT, LON, LAT) == 0.0
+
+    def test_one_degree_latitude(self):
+        d = distance_m(LON, LAT, LON, LAT + 1.0)
+        assert d == pytest.approx(111_195, rel=0.01)
+
+    def test_longitude_shrinks_with_latitude(self):
+        d_equator = distance_m(0, 0, 1, 0)
+        d_dublin = distance_m(LON, LAT, LON + 1, LAT)
+        assert d_dublin < d_equator
+        assert d_dublin == pytest.approx(
+            d_equator * math.cos(math.radians(LAT)), rel=0.01
+        )
+
+    def test_symmetry(self):
+        a = distance_m(LON, LAT, LON + 0.01, LAT + 0.01)
+        b = distance_m(LON + 0.01, LAT + 0.01, LON, LAT)
+        assert a == pytest.approx(b)
+
+    def test_close_predicate(self):
+        near_lat = LAT + 100 / 111_195  # ~100 m north
+        assert close(LON, LAT, LON, near_lat, radius_m=150)
+        assert not close(LON, LAT, LON, near_lat, radius_m=50)
+
+
+class TestSpatialGrid:
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            SpatialGrid(0, LAT)
+
+    def test_finds_items_in_radius(self):
+        grid = SpatialGrid(150, LAT)
+        grid.insert("here", LON, LAT)
+        grid.insert("far", LON + 0.1, LAT)
+        assert grid.near(LON, LAT) == ["here"]
+
+    def test_empty_grid(self):
+        grid = SpatialGrid(150, LAT)
+        assert grid.near(LON, LAT) == []
+
+    def test_boundary_items_found_across_cells(self):
+        grid = SpatialGrid(150, LAT)
+        # Place items just either side of a cell boundary.
+        offset = 140 / 111_195
+        grid.insert("north", LON, LAT + offset)
+        grid.insert("south", LON, LAT - offset)
+        found = set(grid.near(LON, LAT))
+        assert found == {"north", "south"}
+
+    @given(
+        st.floats(-0.02, 0.02),
+        st.floats(-0.02, 0.02),
+    )
+    def test_grid_matches_linear_scan(self, dlon, dlat):
+        radius = 200.0
+        grid = SpatialGrid(radius, LAT)
+        points = [
+            ("a", LON + 0.001, LAT),
+            ("b", LON, LAT + 0.001),
+            ("c", LON + 0.01, LAT + 0.01),
+            ("d", LON - 0.015, LAT - 0.002),
+        ]
+        for name, plon, plat in points:
+            grid.insert(name, plon, plat)
+        qlon, qlat = LON + dlon, LAT + dlat
+        expected = {
+            name
+            for name, plon, plat in points
+            if distance_m(qlon, qlat, plon, plat) <= radius
+        }
+        assert set(grid.near(qlon, qlat)) == expected

@@ -1,0 +1,160 @@
+"""Tests for the definition DSL and stratification."""
+
+import pytest
+
+from repro.core.events import Event, FluentFact, Occurrence
+from repro.core.intervals import IntervalList
+from repro.core.rules import (
+    FunctionalEvent,
+    FunctionalSimpleFluent,
+    FunctionalStaticFluent,
+    RuleContext,
+    stratify,
+)
+
+
+def _ctx(events=None, facts=None, params=None, window=(0, 100)):
+    return RuleContext(
+        window_start=window[0],
+        window_end=window[1],
+        events=events or {},
+        facts=facts or {},
+        params=params or {},
+    )
+
+
+class TestRuleContext:
+    def test_events_lookup(self):
+        ev = Event("move", 5, {"bus": "B1"})
+        ctx = _ctx(events={"move": [ev]})
+        assert list(ctx.events("move")) == [ev]
+        assert list(ctx.events("unknown")) == []
+
+    def test_fact_at_exact_time(self):
+        facts = {
+            ("gps", ("B1",)): [
+                FluentFact("gps", ("B1",), {"lon": 1.0}, 5),
+                FluentFact("gps", ("B1",), {"lon": 2.0}, 9),
+            ]
+        }
+        ctx = _ctx(facts=facts)
+        assert ctx.fact_at("gps", ("B1",), 5)["lon"] == 1.0
+        assert ctx.fact_at("gps", ("B1",), 9)["lon"] == 2.0
+        assert ctx.fact_at("gps", ("B1",), 7) is None
+        assert ctx.fact_at("gps", ("B2",), 5) is None
+
+    def test_fact_latest(self):
+        facts = {
+            ("gps", ("B1",)): [
+                FluentFact("gps", ("B1",), {"lon": 1.0}, 5),
+                FluentFact("gps", ("B1",), {"lon": 2.0}, 9),
+            ]
+        }
+        ctx = _ctx(facts=facts)
+        assert ctx.fact_latest("gps", ("B1",), 4) is None
+        assert ctx.fact_latest("gps", ("B1",), 5)["lon"] == 1.0
+        assert ctx.fact_latest("gps", ("B1",), 8)["lon"] == 1.0
+        assert ctx.fact_latest("gps", ("B1",), 100)["lon"] == 2.0
+
+    def test_fact_keys(self):
+        facts = {
+            ("gps", ("B1",)): [FluentFact("gps", ("B1",), {}, 1)],
+            ("gps", ("B2",)): [FluentFact("gps", ("B2",), {}, 1)],
+            ("odometer", ("B1",)): [FluentFact("odometer", ("B1",), 5, 1)],
+        }
+        ctx = _ctx(facts=facts)
+        assert sorted(ctx.fact_keys("gps")) == [("B1",), ("B2",)]
+
+    def test_param(self):
+        ctx = _ctx(params={"scats.density_hi": 60.0})
+        assert ctx.param("scats.density_hi") == 60.0
+        with pytest.raises(KeyError):
+            ctx.param("missing")
+
+    def test_intermediate_storage(self):
+        ctx = _ctx()
+        occ = Occurrence("delayIncrease", ("B1",), 3)
+        ctx._store_occurrences("delayIncrease", [occ])
+        ctx._store_fluent("f", {("k",): IntervalList([(0, 5)])})
+        assert list(ctx.derived("delayIncrease")) == [occ]
+        assert ctx.intervals("f", ("k",)).intervals == ((0, 5),)
+        assert ctx.holds_at("f", ("k",), 3)
+        assert not ctx.holds_at("f", ("k",), 7)
+        assert ctx.intervals("f", ("other",)) == IntervalList()
+
+
+class TestFunctionalDefinitions:
+    def test_functional_event(self):
+        occ = Occurrence("e", ("k",), 1)
+        d = FunctionalEvent("e", lambda ctx: [occ])
+        assert list(d.occurrences(_ctx())) == [occ]
+
+    def test_functional_simple_fluent(self):
+        d = FunctionalSimpleFluent(
+            "f",
+            initiated=lambda ctx: [(("k",), 1)],
+            terminated=lambda ctx: [(("k",), 5)],
+        )
+        assert list(d.initiations(_ctx())) == [(("k",), 1)]
+        assert list(d.terminations(_ctx())) == [(("k",), 5)]
+
+    def test_functional_static_fluent(self):
+        d = FunctionalStaticFluent(
+            "f", lambda ctx: {("k",): IntervalList([(0, 2)])}
+        )
+        assert d.derive(_ctx())[("k",)].intervals == ((0, 2),)
+
+
+class TestStratify:
+    @staticmethod
+    def _ev(name, deps=()):
+        return FunctionalEvent(name, lambda ctx: [], depends_on=deps)
+
+    def test_orders_by_dependency(self):
+        a = self._ev("a")
+        b = self._ev("b", deps=("a",))
+        c = self._ev("c", deps=("b", "a"))
+        order = [d.name for d in stratify([c, b, a])]
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_input_event_dependencies_ignored(self):
+        a = self._ev("a", deps=("move", "traffic"))
+        assert [d.name for d in stratify([a])] == ["a"]
+
+    def test_cycle_detected(self):
+        a = self._ev("a", deps=("b",))
+        b = self._ev("b", deps=("a",))
+        with pytest.raises(ValueError, match="cyclic"):
+            stratify([a, b])
+
+    def test_self_cycle_detected(self):
+        a = self._ev("a", deps=("a",))
+        with pytest.raises(ValueError, match="cyclic"):
+            stratify([a])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            stratify([self._ev("a"), self._ev("a")])
+
+    def test_all_definitions_present(self):
+        defs = [self._ev(n) for n in "abcde"]
+        assert {d.name for d in stratify(defs)} == set("abcde")
+
+
+class TestValueAt:
+    def test_value_at_scans_extended_keys(self):
+        ctx = _ctx()
+        ctx._store_fluent(
+            "light",
+            {
+                ("junction", "green"): IntervalList([(0, 10)]),
+                ("junction", "red"): IntervalList([(10, 20)]),
+            },
+        )
+        assert ctx.value_at("light", ("junction",), 5) == "green"
+        assert ctx.value_at("light", ("junction",), 15) == "red"
+        assert ctx.value_at("light", ("junction",), 25) is None
+        assert ctx.value_at("light", ("elsewhere",), 5) is None
+
+    def test_value_at_unknown_fluent(self):
+        assert _ctx().value_at("nope", ("k",), 0) is None

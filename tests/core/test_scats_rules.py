@@ -1,0 +1,238 @@
+"""Tests for the SCATS-side CE definitions (rule-set (2) and friends)."""
+
+from repro.core.intervals import IntervalList
+
+from .helpers import CONGESTED, FREE, make_engine, make_topology, traffic_event
+
+S1 = ("I1", "A", "S1")
+S2 = ("I1", "A", "S2")
+
+
+class TestScatsCongestion:
+    def test_initiated_by_high_density_low_flow(self):
+        eng = make_engine()
+        eng.feed([traffic_event(100, sensor="S1", **CONGESTED)])
+        snap = eng.query(3600)
+        assert snap.intervals("scatsCongestion", S1).intervals == ((101, None),)
+
+    def test_terminated_by_density_drop(self):
+        eng = make_engine()
+        eng.feed([
+            traffic_event(100, **CONGESTED),
+            traffic_event(460, density=30.0, flow=300.0),
+        ])
+        snap = eng.query(3600)
+        assert snap.intervals("scatsCongestion", S1).intervals == ((101, 461),)
+
+    def test_terminated_by_flow_recovery(self):
+        eng = make_engine()
+        eng.feed([
+            traffic_event(100, **CONGESTED),
+            traffic_event(460, density=90.0, flow=900.0),
+        ])
+        snap = eng.query(3600)
+        assert snap.intervals("scatsCongestion", S1).intervals == ((101, 461),)
+
+    def test_free_flow_never_initiates(self):
+        eng = make_engine()
+        eng.feed([traffic_event(100, **FREE)])
+        snap = eng.query(3600)
+        assert snap.intervals("scatsCongestion", S1) == IntervalList()
+
+    def test_high_density_high_flow_not_congested(self):
+        # Upper branch of the fundamental diagram requires BOTH
+        # conditions (density above AND flow below their thresholds).
+        eng = make_engine()
+        eng.feed([traffic_event(100, density=90.0, flow=900.0)])
+        snap = eng.query(3600)
+        assert snap.intervals("scatsCongestion", S1) == IntervalList()
+
+    def test_thresholds_are_parameters(self):
+        eng = make_engine(params={"scats.density_hi": 200.0})
+        eng.feed([traffic_event(100, **CONGESTED)])
+        snap = eng.query(3600)
+        assert snap.intervals("scatsCongestion", S1) == IntervalList()
+
+    def test_sensors_independent(self):
+        eng = make_engine()
+        eng.feed([
+            traffic_event(100, sensor="S1", **CONGESTED),
+            traffic_event(100, sensor="S2", **FREE),
+        ])
+        snap = eng.query(3600)
+        assert snap.intervals("scatsCongestion", S1)
+        assert not snap.intervals("scatsCongestion", S2)
+
+
+class TestIntersectionCongestion:
+    def test_requires_n_sensors(self):
+        eng = make_engine()  # threshold n=2, intersection has 2 sensors
+        eng.feed([
+            traffic_event(100, sensor="S1", **CONGESTED),
+            traffic_event(460, sensor="S2", **CONGESTED),
+            traffic_event(820, sensor="S1", **FREE),
+        ])
+        snap = eng.query(3600)
+        # Congested only while both sensors are congested.
+        assert snap.intervals("scatsIntCongestion", ("I1",)).intervals == (
+            (461, 821),
+        )
+
+    def test_single_sensor_not_enough(self):
+        eng = make_engine()
+        eng.feed([traffic_event(100, sensor="S1", **CONGESTED)])
+        snap = eng.query(3600)
+        assert not snap.intervals("scatsIntCongestion", ("I1",))
+
+    def test_intersection_with_fewer_sensors_than_threshold(self):
+        # A one-sensor intersection is congested when its sensor is.
+        topo = make_topology(sensors_per_intersection=1)
+        eng = make_engine(topo)
+        eng.feed([traffic_event(100, sensor="S1", **CONGESTED)])
+        snap = eng.query(3600)
+        assert snap.intervals("scatsIntCongestion", ("I1",)).intervals == (
+            (101, None),
+        )
+
+    def test_unknown_intersection_ignored(self):
+        eng = make_engine()
+        eng.feed([
+            traffic_event(100, intersection="GHOST", sensor="S1", **CONGESTED),
+        ])
+        snap = eng.query(3600)
+        assert snap.fluents.get("scatsIntCongestion", {}) == {}
+
+
+class TestTrafficTrends:
+    def test_rising_flow_trend(self):
+        eng = make_engine()
+        # 4 readings, 3 steps of +200 >= trend.flow_delta (120).
+        eng.feed([
+            traffic_event(t, flow=f, density=20.0)
+            for t, f in [(10, 300.0), (370, 500.0), (730, 700.0), (1090, 900.0)]
+        ])
+        snap = eng.query(3600)
+        key = S1 + ("rising",)
+        ivs = snap.intervals("flowTrend", key)
+        assert ivs.holds_at(1100)
+        assert ivs.first_start() == 1091
+
+    def test_trend_broken_by_flat_reading(self):
+        eng = make_engine()
+        eng.feed([
+            traffic_event(t, flow=f, density=20.0)
+            for t, f in [
+                (10, 300.0),
+                (370, 500.0),
+                (730, 700.0),
+                (1090, 900.0),
+                (1450, 905.0),  # step of +5 < delta: breaks the trend
+            ]
+        ])
+        snap = eng.query(3600)
+        key = S1 + ("rising",)
+        assert snap.intervals("flowTrend", key).intervals == ((1091, 1451),)
+
+    def test_falling_density_trend(self):
+        eng = make_engine()
+        eng.feed([
+            traffic_event(t, flow=600.0, density=d)
+            for t, d in [(10, 90.0), (370, 75.0), (730, 60.0), (1090, 45.0)]
+        ])
+        snap = eng.query(3600)
+        key = S1 + ("falling",)
+        assert snap.intervals("densityTrend", key).holds_at(1100)
+
+    def test_insufficient_readings_no_trend(self):
+        eng = make_engine()
+        eng.feed([
+            traffic_event(t, flow=f, density=20.0)
+            for t, f in [(10, 300.0), (370, 500.0), (730, 700.0)]
+        ])
+        snap = eng.query(3600)
+        assert not snap.intervals("flowTrend", S1 + ("rising",))
+
+
+class TestProactiveTrendOrdering:
+    """Section 4.3: trend CEs exist 'for proactive decision-making' —
+    on a gradually building queue the rising-density trend fires before
+    the congestion threshold trips."""
+
+    def test_trend_precedes_congestion_on_gradual_buildup(self):
+        eng = make_engine(params={"trend.readings": 2,
+                                  "trend.density_delta": 6.0})
+        readings = [
+            (360, 30.0, 900.0),
+            (720, 40.0, 820.0),
+            (1080, 50.0, 700.0),   # 2nd rising step: trend initiates
+            (1440, 58.0, 640.0),
+            (1800, 66.0, 560.0),   # crosses the congestion thresholds
+            (2160, 75.0, 480.0),
+        ]
+        eng.feed([
+            traffic_event(t, density=d, flow=f) for t, d, f in readings
+        ])
+        snap = eng.query(3600)
+        trend = snap.intervals("densityTrend", S1 + ("rising",))
+        congestion = snap.intervals("scatsCongestion", S1)
+        assert trend, "the buildup must register as a rising trend"
+        assert congestion, "the queue eventually congests"
+        assert trend.first_start() < congestion.first_start(), (
+            "the proactive signal must precede the congestion alarm"
+        )
+
+
+class TestTrafficRegime:
+    """The three-phase regime fluent (multi-valued F = V)."""
+
+    def test_classifies_by_density_band(self):
+        eng = make_engine()
+        eng.feed([
+            traffic_event(100, density=15.0, flow=700.0),    # free
+            traffic_event(460, density=45.0, flow=800.0),    # synchronized
+            traffic_event(820, density=80.0, flow=300.0),    # congested
+        ])
+        snap = eng.query(3600)
+        assert snap.intervals("trafficRegime", S1 + ("free",)).intervals == (
+            (101, 461),
+        )
+        assert snap.intervals(
+            "trafficRegime", S1 + ("synchronized",)
+        ).intervals == ((461, 821),)
+        assert snap.intervals(
+            "trafficRegime", S1 + ("congested",)
+        ).holds_at(1000)
+
+    def test_exactly_one_regime_at_a_time(self):
+        eng = make_engine()
+        eng.feed([
+            traffic_event(t, density=d, flow=600.0)
+            for t, d in [(100, 10.0), (460, 40.0), (820, 70.0),
+                         (1180, 20.0)]
+        ])
+        snap = eng.query(3600)
+        for t in range(101, 1500, 37):
+            held = [
+                key[-1]
+                for key, ivs in snap.fluents["trafficRegime"].items()
+                if key[:3] == S1 and ivs.holds_at(t)
+            ]
+            assert len(held) == 1, f"t={t}: {held}"
+
+    def test_congested_bound_shared_with_rule_set_2(self):
+        # A density exactly at scats.density_hi is 'congested'.
+        eng = make_engine()
+        eng.feed([traffic_event(100, density=60.0, flow=500.0)])
+        snap = eng.query(3600)
+        assert snap.intervals(
+            "trafficRegime", S1 + ("congested",)
+        ).holds_at(200)
+
+    def test_regime_persists_across_windows(self):
+        eng = make_engine(window=600, step=300)
+        eng.feed([traffic_event(100, density=45.0, flow=800.0)])
+        eng.query(300)
+        snap = eng.query(600)
+        assert snap.intervals(
+            "trafficRegime", S1 + ("synchronized",)
+        ).holds_at(550)

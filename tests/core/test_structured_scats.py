@@ -1,0 +1,180 @@
+"""Tests for the structured intersection-congestion definitions and
+the crowd-based SCATS reliability evaluation (the parts Section 4.3
+mentions but leaves unformalised)."""
+
+import pytest
+
+from repro.core import RTEC
+from repro.core.intervals import IntervalList
+from repro.core.traffic import (
+    Intersection,
+    ScatsTopology,
+    build_traffic_definitions,
+    default_traffic_params,
+)
+
+from .helpers import CONGESTED, FREE, LAT, LON, bus_report, crowd_event, \
+    feed_reports, traffic_event
+
+
+def _multi_approach_topology():
+    """One intersection with two approaches of two sensors each."""
+    sensors = tuple(
+        ("I1", approach, sensor)
+        for approach in ("N", "E")
+        for sensor in ("S1", "S2")
+    )
+    return ScatsTopology(
+        [Intersection("I1", LON, LAT, sensors)], close_radius_m=150.0
+    )
+
+
+def _engine(topology, *, structured=True, scats_reliability=False,
+            adaptive=None, params=None):
+    if adaptive is None:
+        adaptive = scats_reliability
+    merged = default_traffic_params()
+    merged.update(params or {})
+    definitions = build_traffic_definitions(
+        topology,
+        adaptive=adaptive,
+        noisy_variant="crowd",
+        structured_intersections=structured,
+        scats_reliability=scats_reliability,
+    )
+    return RTEC(definitions, window=3600, step=3600, params=merged)
+
+
+class TestApproachCongestion:
+    def test_approach_congested_when_enough_sensors(self):
+        topo = _multi_approach_topology()
+        eng = _engine(topo, params={"scats.approach_sensor_count": 2})
+        eng.feed([
+            traffic_event(100, approach="N", sensor="S1", **CONGESTED),
+            traffic_event(100, approach="N", sensor="S2", **CONGESTED),
+            traffic_event(100, approach="E", sensor="S1", **CONGESTED),
+            traffic_event(100, approach="E", sensor="S2", **FREE),
+        ])
+        snap = eng.query(3600)
+        assert snap.intervals("approachCongestion", ("I1", "N")).holds_at(200)
+        assert not snap.intervals("approachCongestion", ("I1", "E"))
+
+    def test_default_single_sensor_per_approach_suffices(self):
+        topo = _multi_approach_topology()
+        eng = _engine(topo)  # approach_sensor_count default 1
+        eng.feed([traffic_event(100, approach="N", sensor="S1", **CONGESTED)])
+        snap = eng.query(3600)
+        assert snap.intervals("approachCongestion", ("I1", "N")).holds_at(200)
+
+
+class TestStructuredIntersectionCongestion:
+    def test_needs_enough_congested_approaches(self):
+        topo = _multi_approach_topology()
+        eng = _engine(topo)  # intersection_approach_count default 2
+        # Only approach N congested: not enough.
+        eng.feed([traffic_event(100, approach="N", sensor="S1", **CONGESTED)])
+        snap = eng.query(3600)
+        assert not snap.intervals("scatsIntCongestion", ("I1",))
+
+    def test_congested_when_both_approaches_are(self):
+        topo = _multi_approach_topology()
+        eng = _engine(topo)
+        eng.feed([
+            traffic_event(100, approach="N", sensor="S1", **CONGESTED),
+            traffic_event(460, approach="E", sensor="S1", **CONGESTED),
+            traffic_event(820, approach="N", sensor="S1", **FREE),
+        ])
+        snap = eng.query(3600)
+        assert snap.intervals("scatsIntCongestion", ("I1",)).intervals == (
+            (461, 821),
+        )
+
+    def test_feeds_downstream_veracity_rules(self):
+        # The structured definition keeps the same fluent name, so the
+        # bus-side disagree/agree comparisons work unchanged.
+        topo = _multi_approach_topology()
+        eng = _engine(topo, scats_reliability=False, adaptive=True)
+        eng.feed([
+            traffic_event(1, approach="N", sensor="S1", **FREE),
+            traffic_event(1, approach="E", sensor="S1", **FREE),
+        ])
+        feed_reports(eng, [bus_report(100, congestion=1)])
+        snap = eng.query(3600)
+        assert snap.all_occurrences("disagree")
+
+
+class TestNoisyScats:
+    def _setup(self, crowd_value):
+        topo = _multi_approach_topology()
+        eng = _engine(topo, structured=False, scats_reliability=True)
+        # SCATS says free everywhere.
+        eng.feed([
+            traffic_event(1, approach="N", sensor="S1", **FREE),
+            traffic_event(1, approach="N", sensor="S2", **FREE),
+            traffic_event(1, approach="E", sensor="S1", **FREE),
+            traffic_event(1, approach="E", sensor="S2", **FREE),
+        ])
+        # A bus disagrees (reports congestion) at t=100; the crowd
+        # answers at t=400.
+        feed_reports(eng, [bus_report(100, congestion=1)])
+        eng.feed([crowd_event(400, value=crowd_value)])
+        return eng
+
+    def test_scats_noisy_when_crowd_contradicts_sensors(self):
+        eng = self._setup("positive")  # crowd: there IS congestion
+        snap = eng.query(3600)
+        assert snap.intervals("noisyScats", ("I1",)).intervals == (
+            (401, None),
+        )
+
+    def test_scats_trusted_when_crowd_confirms(self):
+        eng = self._setup("negative")  # crowd agrees with the sensors
+        snap = eng.query(3600)
+        assert not snap.intervals("noisyScats", ("I1",))
+
+    def test_crowd_answer_without_disagreement_ignored(self):
+        topo = _multi_approach_topology()
+        eng = _engine(topo, structured=False, scats_reliability=True)
+        eng.feed([traffic_event(1, approach="N", sensor="S1", **FREE)])
+        eng.feed([crowd_event(400, value="positive")])
+        snap = eng.query(3600)
+        assert not snap.intervals("noisyScats", ("I1",))
+
+    def test_rehabilitated_by_later_confirmation(self):
+        eng = self._setup("positive")
+        # A second disagreement later; this time the crowd sides with
+        # the sensors.
+        feed_reports(eng, [bus_report(1000, congestion=1)])
+        eng.feed([crowd_event(1300, value="negative")])
+        snap = eng.query(3600)
+        assert snap.intervals("noisyScats", ("I1",)).intervals == (
+            (401, 1301),
+        )
+
+
+class TestTrustedScatsCongestion:
+    def test_noisy_interval_removed_from_congestion(self):
+        topo = _multi_approach_topology()
+        eng = _engine(topo, structured=False, scats_reliability=True)
+        # SCATS reports congestion throughout.
+        eng.feed([
+            traffic_event(1, approach="N", sensor="S1", **CONGESTED),
+            traffic_event(1, approach="N", sensor="S2", **CONGESTED),
+        ])
+        # A bus disagrees (reports free flow) at 100, and the crowd
+        # confirms the bus at 400: the sensors become noisy.
+        feed_reports(eng, [bus_report(100, congestion=0)])
+        eng.feed([crowd_event(400, value="negative")])
+        snap = eng.query(3600)
+        scats = snap.intervals("scatsIntCongestion", ("I1",))
+        trusted = snap.intervals("trustedScatsCongestion", ("I1",))
+        assert scats.holds_at(1000)
+        assert not trusted.holds_at(1000)
+        assert trusted.holds_at(200)  # before the verdict it was trusted
+
+    def test_requires_adaptive(self):
+        topo = _multi_approach_topology()
+        with pytest.raises(ValueError, match="adaptive"):
+            build_traffic_definitions(
+                topo, adaptive=False, scats_reliability=True
+            )

@@ -1,0 +1,253 @@
+"""Tests for veracity handling: disagree/agree, noisy, sourceDisagreement."""
+
+from repro.core.intervals import IntervalList
+
+from .helpers import (
+    CONGESTED,
+    FREE,
+    LAT,
+    LON,
+    M,
+    bus_report,
+    crowd_event,
+    feed_reports,
+    make_engine,
+    make_topology,
+    traffic_event,
+)
+
+
+def _scats_congested(t):
+    """Both sensors of I1 report the congested regime at ``t``."""
+    return [
+        traffic_event(t, sensor="S1", **CONGESTED),
+        traffic_event(t, sensor="S2", **CONGESTED),
+    ]
+
+
+def _scats_free(t):
+    return [
+        traffic_event(t, sensor="S1", **FREE),
+        traffic_event(t, sensor="S2", **FREE),
+    ]
+
+
+class TestDisagreeAgree:
+    def test_positive_disagreement(self):
+        # Bus says congested, SCATS says free.
+        eng = make_engine(adaptive=True)
+        eng.feed(_scats_free(1))
+        feed_reports(eng, [bus_report(100, congestion=1)])
+        snap = eng.query(3600)
+        occs = snap.all_occurrences("disagree")
+        assert len(occs) == 1
+        assert occs[0]["value"] == "positive"
+        assert occs[0]["intersection"] == "I1"
+
+    def test_negative_disagreement(self):
+        # Bus says free, SCATS says congested.
+        eng = make_engine(adaptive=True)
+        eng.feed(_scats_congested(1))
+        feed_reports(eng, [bus_report(100, congestion=0)])
+        snap = eng.query(3600)
+        occs = snap.all_occurrences("disagree")
+        assert len(occs) == 1
+        assert occs[0]["value"] == "negative"
+
+    def test_agreement_on_congestion(self):
+        eng = make_engine(adaptive=True)
+        eng.feed(_scats_congested(1))
+        feed_reports(eng, [bus_report(100, congestion=1)])
+        snap = eng.query(3600)
+        assert len(snap.all_occurrences("agree")) == 1
+        assert snap.all_occurrences("disagree") == []
+
+    def test_agreement_on_free_flow(self):
+        eng = make_engine(adaptive=True)
+        eng.feed(_scats_free(1))
+        feed_reports(eng, [bus_report(100, congestion=0)])
+        snap = eng.query(3600)
+        assert len(snap.all_occurrences("agree")) == 1
+
+    def test_far_bus_triggers_nothing(self):
+        eng = make_engine(adaptive=True)
+        eng.feed(_scats_free(1))
+        feed_reports(eng, [bus_report(100, congestion=1, lon=LON + 0.01)])
+        snap = eng.query(3600)
+        assert snap.all_occurrences("disagree") == []
+        assert snap.all_occurrences("agree") == []
+
+
+class TestNoisyCrowdValidated:
+    """Rule-set (4): noisy only when the crowd sides with SCATS."""
+
+    def test_initiated_when_crowd_contradicts_bus(self):
+        eng = make_engine(adaptive=True, noisy_variant="crowd")
+        eng.feed(_scats_free(1))
+        feed_reports(eng, [bus_report(100, congestion=1)])  # positive disagree
+        eng.feed([crowd_event(400, value="negative")])  # crowd sides w/ SCATS
+        snap = eng.query(3600)
+        assert snap.intervals("noisy", ("B1",)).intervals == ((101, None),)
+
+    def test_not_initiated_without_crowd_answer(self):
+        eng = make_engine(adaptive=True, noisy_variant="crowd")
+        eng.feed(_scats_free(1))
+        feed_reports(eng, [bus_report(100, congestion=1)])
+        snap = eng.query(3600)
+        assert not snap.intervals("noisy", ("B1",))
+
+    def test_not_initiated_when_crowd_confirms_bus(self):
+        eng = make_engine(adaptive=True, noisy_variant="crowd")
+        eng.feed(_scats_free(1))
+        feed_reports(eng, [bus_report(100, congestion=1)])
+        eng.feed([crowd_event(400, value="positive")])  # bus was right
+        snap = eng.query(3600)
+        assert not snap.intervals("noisy", ("B1",))
+
+    def test_late_crowd_answer_ignored(self):
+        eng = make_engine(
+            adaptive=True,
+            noisy_variant="crowd",
+            params={"veracity.crowd_response_window": 200},
+        )
+        eng.feed(_scats_free(1))
+        feed_reports(eng, [bus_report(100, congestion=1)])
+        eng.feed([crowd_event(400, value="negative")])  # 300 s later > 200
+        snap = eng.query(3600)
+        assert not snap.intervals("noisy", ("B1",))
+
+    def test_terminated_by_agreement(self):
+        eng = make_engine(adaptive=True, noisy_variant="crowd")
+        eng.feed(_scats_free(1))
+        feed_reports(eng, [bus_report(100, congestion=1)])
+        eng.feed([crowd_event(400, value="negative")])
+        # The bus later agrees with the sensors.
+        feed_reports(eng, [bus_report(1000, congestion=0)])
+        snap = eng.query(3600)
+        assert snap.intervals("noisy", ("B1",)).intervals == ((101, 1001),)
+
+    def test_terminated_when_crowd_vindicates_bus(self):
+        eng = make_engine(adaptive=True, noisy_variant="crowd")
+        eng.feed(_scats_free(1))
+        feed_reports(eng, [bus_report(100, congestion=1)])
+        eng.feed([crowd_event(200, value="negative")])  # -> noisy
+        feed_reports(eng, [bus_report(1000, congestion=1)])  # disagrees again
+        eng.feed([crowd_event(1100, value="positive")])  # bus proven right
+        snap = eng.query(3600)
+        assert snap.intervals("noisy", ("B1",)).intervals == ((101, 1001),)
+
+
+class TestNoisyPessimistic:
+    """Rule-set (5): any disagreement marks the bus noisy."""
+
+    def test_initiated_by_bare_disagreement(self):
+        eng = make_engine(adaptive=True, noisy_variant="pessimistic")
+        eng.feed(_scats_free(1))
+        feed_reports(eng, [bus_report(100, congestion=1)])
+        snap = eng.query(3600)
+        assert snap.intervals("noisy", ("B1",)).intervals == ((101, None),)
+
+    def test_terminated_by_agreement(self):
+        eng = make_engine(adaptive=True, noisy_variant="pessimistic")
+        eng.feed(_scats_free(1))
+        feed_reports(eng, [
+            bus_report(100, congestion=1),
+            bus_report(1000, congestion=0),
+        ])
+        snap = eng.query(3600)
+        assert snap.intervals("noisy", ("B1",)).intervals == ((101, 1001),)
+
+    def test_terminated_at_crowd_answer_time(self):
+        # Rule-set (5) terminates at T' (the crowd answer's time).
+        eng = make_engine(adaptive=True, noisy_variant="pessimistic")
+        eng.feed(_scats_free(1))
+        feed_reports(eng, [bus_report(100, congestion=1)])
+        eng.feed([crowd_event(500, value="positive")])  # proves the bus right
+        snap = eng.query(3600)
+        assert snap.intervals("noisy", ("B1",)).intervals == ((101, 501),)
+
+
+class TestAdaptiveBusCongestion:
+    """Rule-set (3′): reports from noisy buses are discarded."""
+
+    def test_noisy_bus_reports_discarded_anywhere(self):
+        topo = make_topology(n_intersections=2, spacing=0.05)
+        eng = make_engine(topo, adaptive=True, noisy_variant="pessimistic")
+        # I1 SCATS free; bus B1 disagrees there -> becomes noisy.
+        eng.feed(_scats_free(1))
+        feed_reports(eng, [bus_report(100, congestion=1)])
+        # B1 later reports congestion near I2 (no SCATS congestion info
+        # needed): the report must be discarded because B1 is noisy.
+        feed_reports(eng, [
+            bus_report(1000, congestion=1, lon=LON + 0.05),
+        ])
+        snap = eng.query(3600)
+        assert not snap.intervals("busCongestion", ("I2",))
+
+    def test_first_disagreeing_report_still_counts(self):
+        # noisy(B1) only holds from T+1, so the report at T itself
+        # initiates busCongestion (matching holdsAt semantics at T).
+        eng = make_engine(adaptive=True, noisy_variant="pessimistic")
+        eng.feed(_scats_free(1))
+        feed_reports(eng, [bus_report(100, congestion=1)])
+        snap = eng.query(3600)
+        assert snap.intervals("busCongestion", ("I1",)).intervals == (
+            (101, None),
+        )
+
+    def test_rehabilitated_bus_counts_again(self):
+        eng = make_engine(adaptive=True, noisy_variant="pessimistic")
+        eng.feed(_scats_free(1))
+        feed_reports(eng, [
+            bus_report(100, congestion=1),            # B1 disagrees -> noisy
+            bus_report(300, bus="B2", congestion=0),  # B2 agrees; clears busCongestion
+            bus_report(400, congestion=1),            # B1 still noisy -> discarded
+            bus_report(500, congestion=0),            # B1 agrees -> rehabilitated
+            bus_report(600, congestion=1),            # B1 counts again
+        ])
+        snap = eng.query(3600)
+        assert snap.intervals("noisy", ("B1",)).intervals[0] == (101, 501)
+        assert snap.intervals("busCongestion", ("I1",)).intervals == (
+            (101, 301),
+            (601, None),
+        )
+
+
+class TestSourceDisagreement:
+    def test_bus_congestion_without_scats_congestion(self):
+        eng = make_engine(adaptive=False)
+        eng.feed(_scats_free(1))
+        feed_reports(eng, [
+            bus_report(100, congestion=1),
+            bus_report(500, congestion=0),
+        ])
+        snap = eng.query(3600)
+        assert snap.intervals("sourceDisagreement", ("I1",)).intervals == (
+            (101, 501),
+        )
+
+    def test_agreeing_congestion_is_no_disagreement(self):
+        eng = make_engine(adaptive=False)
+        eng.feed(_scats_congested(1) + _scats_free(1000))
+        feed_reports(eng, [
+            bus_report(100, congestion=1),
+            bus_report(900, congestion=0),
+        ])
+        snap = eng.query(3600)
+        # Bus congestion [101, 901); SCATS congestion [1, 1001):
+        # the bus interval is fully covered -> no disagreement.
+        assert not snap.intervals("sourceDisagreement", ("I1",))
+
+    def test_partial_overlap(self):
+        eng = make_engine(adaptive=False)
+        # SCATS congested between 1 and 601.
+        eng.feed(_scats_congested(1) + _scats_free(600))
+        feed_reports(eng, [
+            bus_report(100, congestion=1),
+            bus_report(900, congestion=0),
+        ])
+        snap = eng.query(3600)
+        # Bus congestion [101, 901); SCATS [1, 601) -> remainder [601, 901).
+        assert snap.intervals("sourceDisagreement", ("I1",)).intervals == (
+            (601, 901),
+        )

@@ -1,0 +1,117 @@
+"""Tests for the answer-aggregation baselines."""
+
+import random
+
+import pytest
+
+from repro.crowd import (
+    TRAFFIC_LABELS,
+    AnswerSet,
+    DisagreementTask,
+    MajorityVote,
+    OnlineEM,
+    Participant,
+    SequentialBayes,
+    simulate_answers,
+)
+
+TRUE_PS = {
+    f"P{i + 1}": p
+    for i, p in enumerate(
+        [0.05, 0.15, 0.2, 0.25, 0.25, 0.38, 0.4, 0.5, 0.75, 0.9]
+    )
+}
+
+
+def _workload(n_events, seed=0):
+    rng = random.Random(seed)
+    participants = [Participant(pid, p) for pid, p in TRUE_PS.items()]
+    out = []
+    for t in range(1, n_events + 1):
+        truth = rng.choice(TRAFFIC_LABELS)
+        task = DisagreementTask(t, true_label=truth)
+        out.append((truth, simulate_answers(task, participants, rng)))
+    return out
+
+
+def _accuracy(aggregator, workload):
+    correct = 0
+    for truth, answers in workload:
+        estimate = aggregator.process(answers)
+        if estimate.decided_label == truth:
+            correct += 1
+    return correct / len(workload)
+
+
+class TestMajorityVote:
+    def test_plurality_wins(self):
+        task = DisagreementTask(1)
+        answers = AnswerSet(task)
+        answers.add("a", "congestion")
+        answers.add("b", "congestion")
+        answers.add("c", "accident")
+        estimate = MajorityVote().process(answers)
+        assert estimate.decided_label == "congestion"
+        assert estimate.value == "positive"
+        assert estimate.posterior["congestion"] == pytest.approx(2 / 3)
+
+    def test_empty_answers_fall_back_to_prior(self):
+        prior = {
+            "congestion": 0.7, "free_flow": 0.1,
+            "accident": 0.1, "roadworks": 0.1,
+        }
+        estimate = MajorityVote().process(
+            AnswerSet(DisagreementTask(1, prior=prior))
+        )
+        assert estimate.decided_label == "congestion"
+
+    def test_counts_peaked_events(self):
+        mv = MajorityVote()
+        task = DisagreementTask(1)
+        answers = AnswerSet(task)
+        answers.add("a", "congestion")
+        mv.process(answers)  # single unanimous answer: fully peaked
+        assert mv.total_events == 1
+        assert mv.peaked_events == 1
+
+
+class TestSequentialBayes:
+    def test_prior_validation(self):
+        with pytest.raises(ValueError):
+            SequentialBayes(prior_alpha=0.0)
+
+    def test_reliability_starts_at_prior_mean(self):
+        sb = SequentialBayes(prior_alpha=3.0, prior_beta=1.0)
+        assert sb.reliability("anyone") == pytest.approx(0.75)
+        assert sb.estimate("anyone") == pytest.approx(0.25)
+
+    def test_counters_update_with_consensus(self):
+        sb = SequentialBayes()
+        task = DisagreementTask(1)
+        answers = AnswerSet(task)
+        for pid in ("a", "b", "c"):
+            answers.add(pid, "congestion")
+        answers.add("d", "accident")
+        sb.process(answers)
+        assert sb.reliability("a") > sb.reliability("d")
+
+    def test_learns_unreliable_participants(self):
+        sb = SequentialBayes()
+        for truth, answers in _workload(300, seed=3):
+            sb.process(answers)
+        assert sb.estimate("P1") < 0.2
+        assert sb.estimate("P10") > 0.6
+
+
+class TestAccuracyOrdering:
+    def test_reliability_aware_beats_majority(self):
+        # The whole point of Section 5.2: with adversarial and noisy
+        # participants present, reliability-aware fusion out-labels
+        # blind majority voting.
+        workload = _workload(400, seed=11)
+        acc_em = _accuracy(OnlineEM(), workload)
+        acc_sb = _accuracy(SequentialBayes(), workload)
+        acc_mv = _accuracy(MajorityVote(), workload)
+        assert acc_em > acc_mv
+        assert acc_sb > acc_mv
+        assert acc_em > 0.9

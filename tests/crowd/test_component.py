@@ -1,0 +1,132 @@
+"""Tests for the integrated crowdsourcing component facade."""
+
+import pytest
+
+from repro.crowd import (
+    CrowdsourcingComponent,
+    OnlineEM,
+    Participant,
+    QueryExecutionEngine,
+)
+
+LON, LAT = -6.26, 53.35
+
+
+def _component(participants=None, **kwargs):
+    engine = QueryExecutionEngine(seed=3, **kwargs)
+    if participants is None:
+        participants = [
+            Participant(f"p{i}", 0.05, lon=LON, lat=LAT, connection="wifi")
+            for i in range(5)
+        ]
+    for p in participants:
+        engine.register(p)
+    return CrowdsourcingComponent(engine)
+
+
+class TestCrowdsourcingComponent:
+    def test_produces_crowd_event(self):
+        component = _component()
+        outcome = component.handle_disagreement(
+            intersection="I1",
+            lon=LON,
+            lat=LAT,
+            time=1000,
+            true_label="congestion",
+        )
+        assert outcome.crowd_event is not None
+        ev = outcome.crowd_event
+        assert ev.type == "crowd"
+        assert ev["intersection"] == "I1"
+        assert ev["value"] == "positive"
+        assert ev["confidence"] > 0.9
+        assert ev.time > 1000
+
+    def test_negative_value_when_no_congestion(self):
+        component = _component()
+        outcome = component.handle_disagreement(
+            intersection="I1",
+            lon=LON,
+            lat=LAT,
+            time=1000,
+            true_label="free_flow",
+        )
+        assert outcome.crowd_event["value"] == "negative"
+
+    def test_no_event_without_answers(self):
+        component = _component(participants=[])
+        outcome = component.handle_disagreement(
+            intersection="I1",
+            lon=LON,
+            lat=LAT,
+            time=1000,
+            true_label="congestion",
+        )
+        assert outcome.crowd_event is None
+        assert outcome.estimate is None
+
+    def test_prior_forwarded_to_task(self):
+        component = _component()
+        prior = {
+            "congestion": 0.7,
+            "free_flow": 0.1,
+            "accident": 0.1,
+            "roadworks": 0.1,
+        }
+        outcome = component.handle_disagreement(
+            intersection="I1",
+            lon=LON,
+            lat=LAT,
+            time=0,
+            prior=prior,
+            true_label="congestion",
+        )
+        assert outcome.task.prior == prior
+
+    def test_task_ids_increment(self):
+        component = _component()
+        o1 = component.handle_disagreement(
+            intersection="I1", lon=LON, lat=LAT, time=0,
+            true_label="congestion",
+        )
+        o2 = component.handle_disagreement(
+            intersection="I1", lon=LON, lat=LAT, time=10,
+            true_label="congestion",
+        )
+        assert o2.task.task_id == o1.task.task_id + 1
+        assert len(component.outcomes) == 2
+
+    def test_reliability_learning_persists_across_events(self):
+        # Two lone participants who always disagree are statistically
+        # indistinguishable (EM identifiability); use a small majority
+        # of reliable participants, as in the paper's 10-person panel.
+        component = _component(
+            participants=[
+                Participant("good", 0.05, lon=LON, lat=LAT),
+                Participant("good2", 0.1, lon=LON, lat=LAT),
+                Participant("good3", 0.1, lon=LON, lat=LAT),
+                Participant("bad", 0.9, lon=LON, lat=LAT),
+            ]
+        )
+        for t in range(60):
+            component.handle_disagreement(
+                intersection="I1",
+                lon=LON,
+                lat=LAT,
+                time=t * 100,
+                true_label="congestion",
+            )
+        em = component.aggregator
+        assert em.estimate("good") < 0.25
+        assert em.estimate("bad") > 0.5
+
+    def test_shared_aggregator_injection(self):
+        em = OnlineEM(initial_error=0.3)
+        engine = QueryExecutionEngine(seed=1)
+        engine.register(Participant("p", 0.1, lon=LON, lat=LAT))
+        component = CrowdsourcingComponent(engine, aggregator=em)
+        component.handle_disagreement(
+            intersection="I1", lon=LON, lat=LAT, time=0,
+            true_label="congestion",
+        )
+        assert em.total_events == 1

@@ -1,0 +1,80 @@
+"""Integration: a full simulated day through the closed loop (slow)."""
+
+import pytest
+
+from repro.dublin import DublinScenario, ScenarioConfig
+from repro.system import SystemConfig, UrbanTrafficSystem
+
+DAY = 24 * 3600
+
+
+@pytest.mark.slow
+def test_full_day_run():
+    scenario = DublinScenario(
+        ScenarioConfig(
+            seed=61, rows=10, cols=10, n_intersections=30,
+            n_buses=40, n_lines=6, unreliable_fraction=0.1,
+            n_incidents=12, incident_window=(0, DAY),
+        )
+    )
+    system = UrbanTrafficSystem(
+        scenario,
+        SystemConfig(
+            window=1800, step=900, adaptive=True, noisy_variant="crowd",
+            n_participants=30, seed=61,
+        ),
+    )
+    report = system.run(0, DAY)
+
+    # 96 recognition steps per region, all real-time.
+    for region, log in report.logs.items():
+        assert len(log.snapshots) == DAY // 900, region
+        assert log.mean_elapsed < 900, "recognition must be real-time"
+
+    # A day with incidents and unreliable buses produces alerts of
+    # several kinds and the crowd loop resolves disagreements.
+    counts = report.console.counts()
+    assert counts.get("bus congestion", 0) > 0
+    assert counts.get("source disagreement", 0) > 0
+    assert report.crowd_resolutions > 0
+
+    # The flow field saw a day of readings and covers the city.
+    assert system.flow_estimator.refits >= 1
+    assert len(report.flow_estimates) == scenario.network.n_junctions()
+
+    # Rush-hour demand shows up in the ground truth the sensors saw:
+    # morning rush is denser than the small hours.
+    gt = scenario.ground_truth
+    node = next(iter(scenario.network.graph.nodes))
+    assert gt.density(node, int(8.5 * 3600)) > gt.density(node, 3 * 3600)
+
+
+@pytest.mark.slow
+def test_recognition_throughput_floor():
+    """Performance regression guard on the Figure 4 workload shape: a
+    10-minute window over the paper-density stream must recognise in
+    well under real time."""
+    from repro.core import RTEC
+    from repro.core.traffic import (
+        build_traffic_definitions,
+        default_traffic_params,
+    )
+
+    scenario = DublinScenario(
+        ScenarioConfig(seed=73, n_buses=450, n_lines=30,
+                       n_intersections=350, n_incidents=5,
+                       incident_window=(0, 1800)),
+    )
+    data = scenario.generate(0, 1800)
+    engine = RTEC(
+        build_traffic_definitions(scenario.topology, adaptive=True,
+                                  noisy_variant="pessimistic"),
+        window=600, step=600, params=default_traffic_params(),
+    )
+    engine.feed(data.events, data.facts)
+    snapshots = list(engine.run(1800))
+    total_sdes = sum(s.n_events for s in snapshots)
+    assert total_sdes > 20_000
+    # Real-time margin: every 10-minute window recognised in < 30 s
+    # even on slow CI hardware (typically ~0.1 s).
+    assert all(s.elapsed < 30.0 for s in snapshots)

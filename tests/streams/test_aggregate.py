@@ -1,0 +1,170 @@
+"""Tests for the tumbling-window aggregation processor."""
+
+import pytest
+
+from repro.streams import (
+    Collect,
+    Process,
+    Source,
+    StreamRuntime,
+    Topology,
+    TumblingAggregate,
+    make_item,
+    normalise_result,
+)
+
+
+def _agg(window=60, agg="mean"):
+    return TumblingAggregate(
+        window,
+        key_fn=lambda i: i["sensor"],
+        value_fn=lambda i: i["value"],
+        agg=agg,
+    )
+
+
+def _item(t, sensor="s1", value=1.0):
+    return make_item({"sensor": sensor, "value": value}, time=t)
+
+
+class TestValidation:
+    def test_window_positive(self):
+        with pytest.raises(ValueError):
+            _agg(window=0)
+
+    def test_known_aggregates_only(self):
+        with pytest.raises(ValueError, match="aggregate"):
+            _agg(agg="p99")
+
+    def test_out_of_order_rejected(self):
+        p = _agg(window=60)
+        p.process(_item(100))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            p.process(_item(10))
+
+
+class TestAggregation:
+    def test_emits_on_bucket_boundary(self):
+        p = _agg(window=60)
+        assert p.process(_item(10, value=2.0)) is None
+        assert p.process(_item(20, value=4.0)) is None
+        emitted = normalise_result(p.process(_item(70, value=9.0)))
+        assert len(emitted) == 1
+        assert emitted[0]["@time"] == 60
+        assert emitted[0]["value"] == pytest.approx(3.0)
+        assert emitted[0]["count"] == 2
+
+    def test_groups_by_key(self):
+        p = _agg(window=60, agg="sum")
+        p.process(_item(10, sensor="a", value=1.0))
+        p.process(_item(20, sensor="b", value=2.0))
+        p.process(_item(30, sensor="a", value=3.0))
+        emitted = normalise_result(p.process(_item(70)))
+        by_key = {i["key"]: i for i in emitted}
+        assert by_key["a"]["value"] == 4.0
+        assert by_key["b"]["value"] == 2.0
+
+    @pytest.mark.parametrize(
+        "agg,expected", [("mean", 2.0), ("sum", 6.0), ("min", 1.0), ("max", 3.0)]
+    )
+    def test_aggregates(self, agg, expected):
+        p = _agg(window=60, agg=agg)
+        for v in (1.0, 2.0, 3.0):
+            p.process(_item(10, value=v))
+        out = normalise_result(p.process(_item(70)))
+        assert out[0]["value"] == pytest.approx(expected)
+
+    def test_skipped_buckets(self):
+        p = _agg(window=60)
+        p.process(_item(10, value=5.0))
+        emitted = normalise_result(p.process(_item(500, value=7.0)))
+        # Only the non-empty bucket is emitted.
+        assert len(emitted) == 1
+        assert emitted[0]["value"] == 5.0
+
+    def test_flush_trailing_window(self):
+        p = _agg(window=60)
+        p.process(_item(10, value=5.0))
+        out = p.flush()
+        assert len(out) == 1
+        assert out[0]["value"] == 5.0
+        assert p.flush() == []
+
+    def test_flush_empty(self):
+        assert _agg().flush() == []
+
+
+class TestInTopology:
+    def test_mediator_style_aggregation(self):
+        # Raw 1-second readings aggregated to one item per sensor per
+        # minute: the mediator behaviour the paper describes.
+        topo = Topology()
+        raw = [
+            _item(t, sensor=f"s{(t // 10) % 2}", value=float(t))
+            for t in range(0, 180, 10)
+        ]
+        topo.add_source(Source("raw", raw))
+        sink = Collect()
+        topo.add_process(
+            Process(
+                "mediator", input="raw",
+                processors=[_agg(window=60), sink],
+            )
+        )
+        StreamRuntime(topo).run()
+        # Two completed buckets x two sensors = 4 aggregate items (the
+        # trailing bucket needs an explicit flush).
+        assert len(sink.items) == 4
+        assert all("value" in i and "count" in i for i in sink.items)
+
+
+class TestThrottle:
+    def test_validates_interval(self):
+        from repro.streams import Throttle
+
+        with pytest.raises(ValueError):
+            Throttle(0, key_fn=lambda i: i["sensor"])
+
+    def test_rate_limits_per_key(self):
+        from repro.streams import Throttle
+
+        p = Throttle(60, key_fn=lambda i: i["sensor"])
+        assert p.process(_item(0)) is not None
+        assert p.process(_item(30)) is None         # inside the span
+        assert p.process(_item(60)) is not None     # next span
+        assert p.process(_item(70, sensor="s2")) is not None  # other key
+
+    def test_independent_key_clocks(self):
+        from repro.streams import Throttle
+
+        p = Throttle(100, key_fn=lambda i: i["sensor"])
+        p.process(_item(0, sensor="a"))
+        assert p.process(_item(50, sensor="b")) is not None
+        assert p.process(_item(60, sensor="a")) is None
+
+
+class TestDeduplicate:
+    def test_validates_max_keys(self):
+        from repro.streams import Deduplicate
+
+        with pytest.raises(ValueError):
+            Deduplicate(key_fn=lambda i: i["sensor"], max_keys=1)
+
+    def test_drops_duplicates(self):
+        from repro.streams import Deduplicate
+
+        p = Deduplicate(key_fn=lambda i: (i["sensor"], i["@time"]))
+        first = _item(10)
+        assert p.process(dict(first)) is not None
+        assert p.process(dict(first)) is None
+        assert p.process(_item(11)) is not None
+
+    def test_eviction_bounds_memory(self):
+        from repro.streams import Deduplicate
+
+        p = Deduplicate(key_fn=lambda i: i["@time"], max_keys=10)
+        for t in range(25):
+            p.process(_item(t))
+        assert len(p._seen) <= 10
+        # Recently seen keys are still deduplicated.
+        assert p.process(_item(24)) is None

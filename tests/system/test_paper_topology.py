@@ -1,0 +1,96 @@
+"""Tests for the Section 3 data-flow graph builder."""
+
+import pytest
+
+from repro.dublin import REGIONS, DublinScenario, ScenarioConfig
+from repro.streams import StreamRuntime
+from repro.system import build_paper_topology
+
+
+@pytest.fixture(scope="module")
+def built():
+    scenario = DublinScenario(
+        ScenarioConfig(
+            seed=47,
+            rows=10,
+            cols=10,
+            n_intersections=25,
+            n_buses=40,
+            n_lines=6,
+            unreliable_fraction=0.2,
+            n_incidents=4,
+            incident_window=(0, 1200),
+        )
+    )
+    data = scenario.generate(0, 1200)
+    paper = build_paper_topology(
+        scenario, data, window=600, step=300, n_participants=20, seed=47
+    )
+    stats = StreamRuntime(paper.topology).run()
+    paper.flush(1200)
+    return scenario, data, paper, stats
+
+
+class TestTopologyShape:
+    def test_one_bus_stream_four_scats_streams(self, built):
+        _, _, paper, _ = built
+        sources = set(paper.topology.sources)
+        assert sources == {"buses"} | {f"scats-{r}" for r in REGIONS}
+
+    def test_one_cep_process_per_region(self, built):
+        _, _, paper, _ = built
+        for region in REGIONS:
+            assert f"cep-{region}" in paper.topology.processes
+        assert "crowdsourcing" in paper.topology.processes
+
+    def test_traffic_model_registered_as_service(self, built):
+        _, _, paper, _ = built
+        assert paper.topology.services.lookup("traffic-model") is (
+            paper.flow_estimator
+        )
+
+
+class TestTopologyExecution:
+    def test_all_items_ingested(self, built):
+        _, data, _, stats = built
+        expected = len(data.facts) + len(data.events)
+        assert stats.items_ingested == expected
+
+    def test_bus_items_partitioned_exactly_once(self, built):
+        _, data, paper, _ = built
+        moves = sum(1 for e in data.events if e.type == "move")
+        consumed = 0
+        for region in REGIONS:
+            process = paper.topology.processes[f"bus-intake-{region}"]
+            consumed += process.produced
+        # Every move + gps pair passes exactly one region filter.
+        assert consumed == 2 * moves
+
+    def test_every_region_engine_recognised(self, built):
+        _, _, paper, _ = built
+        for region, processor in paper.rtec_processors.items():
+            assert [s.query_time for s in processor.log.snapshots] == [
+                300, 600, 900, 1200,
+            ], region
+
+    def test_ces_flow_to_queue(self, built):
+        _, _, paper, _ = built
+        ce_queue = paper.topology.queues["complex-events"]
+        assert len(ce_queue) > 0
+        types = {item["@type"] for item in ce_queue}
+        assert "busCongestion" in types or "sourceDisagreement" in types
+
+    def test_crowd_answers_feed_back(self, built):
+        _, _, paper, _ = built
+        answers = paper.topology.queues["crowd-answers"].snapshot()
+        if answers:  # disagreements occurred
+            assert paper.crowd.outcomes
+            assert all(item["@type"] == "crowd" for item in answers)
+
+    def test_traffic_model_service_fed(self, built):
+        _, data, paper, _ = built
+        has_scats = any(e.type == "traffic" for e in data.events)
+        if has_scats:
+            assert paper.flow_estimator.active_observations(1200)
+            estimates = paper.flow_estimator.estimate(1200)
+            assert estimates is not None

@@ -1,0 +1,238 @@
+"""Tests for the pipeline extensions: priors, rewards, measured flows,
+structured intersections and SCATS reliability in the full loop."""
+
+import pytest
+
+from repro.dublin import DublinScenario, ScenarioConfig
+from repro.system import SystemConfig, UrbanTrafficSystem
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return DublinScenario(
+        ScenarioConfig(
+            seed=31,
+            rows=12,
+            cols=12,
+            n_intersections=40,
+            n_buses=60,
+            n_lines=8,
+            unreliable_fraction=0.15,
+            n_incidents=6,
+            incident_window=(0, 1800),
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def system_and_report(scenario):
+    system = UrbanTrafficSystem(
+        scenario,
+        SystemConfig(
+            window=600,
+            step=300,
+            adaptive=True,
+            noisy_variant="crowd",
+            n_participants=40,
+            ce_priors=True,
+            rewards=True,
+            use_measured_flows=True,
+            seed=31,
+        ),
+    )
+    return system, system.run(0, 1800)
+
+
+class TestMeasuredFlowEstimation:
+    def test_flow_estimator_fed_by_scats_readings(self, system_and_report):
+        system, _ = system_and_report
+        assert system.flow_estimator.coverage(1800) > 0.0
+
+    def test_estimates_cover_whole_city(self, scenario, system_and_report):
+        _, report = system_and_report
+        assert set(report.flow_estimates) == set(scenario.network.graph.nodes)
+
+    def test_ground_truth_fallback_before_any_reading(self, scenario):
+        system = UrbanTrafficSystem(
+            scenario,
+            SystemConfig(crowd_enabled=False, use_measured_flows=True),
+        )
+        # No run() yet: the rolling estimator is empty, so the snapshot
+        # falls back to the substrate's ground truth.
+        estimates = system.estimate_citywide(900)
+        assert len(estimates) == scenario.network.n_junctions()
+
+    def test_ground_truth_mode(self, scenario):
+        system = UrbanTrafficSystem(
+            scenario,
+            SystemConfig(crowd_enabled=False, use_measured_flows=False),
+        )
+        estimates = system.estimate_citywide(900)
+        assert len(estimates) == scenario.network.n_junctions()
+
+
+class TestPriors:
+    def test_prior_built_from_bus_reports(self, system_and_report):
+        system, _ = system_and_report
+        assert system._bus_reports, "prior index must be populated"
+        # At least one crowdsourced task should have carried a
+        # non-uniform prior.
+        non_uniform = [
+            o
+            for o in system.crowd.outcomes
+            if len(set(round(v, 6) for v in o.task.prior.values())) > 1
+        ]
+        assert non_uniform
+
+    def test_priors_disabled(self, scenario):
+        system = UrbanTrafficSystem(
+            scenario,
+            SystemConfig(
+                adaptive=True, crowd_enabled=True, ce_priors=False,
+                n_participants=20, seed=31,
+            ),
+        )
+        system.run(0, 900)
+        assert not system._bus_reports
+        for outcome in system.crowd.outcomes:
+            values = set(round(v, 6) for v in outcome.task.prior.values())
+            assert len(values) == 1  # uniform
+
+
+class TestRewards:
+    def test_rewards_settled(self, system_and_report):
+        _, report = system_and_report
+        if report.crowd_resolutions:
+            assert report.rewards
+            assert all(v >= 0 for v in report.rewards.values())
+
+    def test_rewards_disabled(self, scenario):
+        system = UrbanTrafficSystem(
+            scenario,
+            SystemConfig(crowd_enabled=True, rewards=False,
+                         n_participants=10, seed=31),
+        )
+        report = system.run(0, 900)
+        assert report.rewards == {}
+
+
+class TestStructuredAndReliability:
+    def test_structured_intersections_run(self, scenario):
+        system = UrbanTrafficSystem(
+            scenario,
+            SystemConfig(
+                adaptive=True,
+                structured_intersections=True,
+                crowd_enabled=False,
+                seed=31,
+            ),
+        )
+        report = system.run(0, 900)
+        assert report.logs
+
+    def test_scats_reliability_surface(self, scenario):
+        system = UrbanTrafficSystem(
+            scenario,
+            SystemConfig(
+                adaptive=True,
+                scats_reliability=True,
+                crowd_enabled=True,
+                n_participants=40,
+                seed=31,
+            ),
+        )
+        report = system.run(0, 1800)
+        # The fluent is evaluated (it may or may not fire depending on
+        # the crowd's answers); trustedScatsCongestion exists alongside.
+        names = set()
+        for log in report.logs.values():
+            for snapshot in log.snapshots:
+                names.update(snapshot.fluents)
+        assert "noisyScats" in names
+        assert "trustedScatsCongestion" in names
+
+
+class TestCrowdThrottling:
+    """'To minimise the impact on the participants' — Section 5."""
+
+    def _run(self, scenario, **overrides):
+        defaults = dict(
+            adaptive=True, noisy_variant="crowd", n_participants=40,
+            seed=31,
+        )
+        defaults.update(overrides)
+        system = UrbanTrafficSystem(scenario, SystemConfig(**defaults))
+        return system.run(0, 1800)
+
+    def test_cooldown_suppresses_requeries(self, scenario):
+        eager = self._run(scenario, crowd_cooldown_s=1)
+        throttled = self._run(scenario, crowd_cooldown_s=3600)
+        total_eager = eager.crowd_resolutions + eager.crowd_unresolved
+        total_throttled = (
+            throttled.crowd_resolutions + throttled.crowd_unresolved
+        )
+        assert total_throttled <= total_eager
+        if total_eager > total_throttled:
+            assert throttled.crowd_suppressed > 0
+
+    def test_min_support_filters_lone_dissenters(self, scenario):
+        permissive = self._run(scenario, crowd_min_support=1,
+                               crowd_cooldown_s=1)
+        strict = self._run(scenario, crowd_min_support=10,
+                           crowd_cooldown_s=1)
+        asked_permissive = (
+            permissive.crowd_resolutions + permissive.crowd_unresolved
+        )
+        asked_strict = strict.crowd_resolutions + strict.crowd_unresolved
+        assert asked_strict <= asked_permissive
+
+    def test_suppressed_counted_in_report(self, scenario):
+        report = self._run(scenario, crowd_cooldown_s=3600)
+        assert report.crowd_suppressed >= 0  # field present and sane
+
+
+class TestDeadlineAndProfile:
+    def test_crowd_deadline_excludes_slow_devices(self, scenario):
+        # An 800 ms deadline excludes 2G devices from every query.
+        system = UrbanTrafficSystem(
+            scenario,
+            SystemConfig(
+                adaptive=True, n_participants=40, seed=31,
+                crowd_deadline_ms=800.0, crowd_cooldown_s=1,
+            ),
+        )
+        system.run(0, 1800)
+        for outcome in system.crowd.outcomes:
+            for execution in outcome.execution.executions:
+                assert execution.connection != "2g"
+
+    def test_per_definition_profile(self, system_and_report):
+        _, report = system_and_report
+        profile = report.per_definition_profile()
+        assert "busCongestion" in profile
+        assert all(v >= 0.0 for v in profile.values())
+        # The profile's total is consistent with the overall mean.
+        assert sum(profile.values()) == pytest.approx(
+            report.mean_recognition_time, rel=0.5, abs=0.01
+        )
+
+
+class TestAlertSurfacing:
+    def test_trend_and_noisy_scats_alerts(self, scenario):
+        from repro.core.rtec import FreshResults
+
+        system = UrbanTrafficSystem(
+            scenario, SystemConfig(crowd_enabled=False)
+        )
+        fresh = FreshResults(
+            occurrences=[],
+            episodes=[
+                ("densityTrend", ("I1", "N", "S1", "rising"), 100, None),
+                ("densityTrend", ("I1", "N", "S1", "falling"), 200, None),
+                ("noisyScats", ("I9",), 300, None),
+            ],
+        )
+        system._surface_alerts("central", fresh)
+        counts = system.console.counts()
+        assert counts.get("density rising") == 1  # falling not alerted
+        assert counts.get("scats unreliable") == 1

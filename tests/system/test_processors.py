@@ -1,0 +1,136 @@
+"""Tests for the Streams embeddings of RTEC and crowdsourcing."""
+
+import pytest
+
+from repro.core import RTEC
+from repro.core.traffic import build_traffic_definitions, default_traffic_params
+from repro.crowd import (
+    CrowdsourcingComponent,
+    Participant,
+    QueryExecutionEngine,
+)
+from repro.dublin import DublinScenario, ScenarioConfig, stream_items
+from repro.streams import Collect, Process, Source, StreamRuntime, Topology
+from repro.system import (
+    CrowdsourcingProcessor,
+    FluentFeedbackProcessor,
+    RtecProcessor,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return DublinScenario(
+        ScenarioConfig(
+            seed=7,
+            rows=10,
+            cols=10,
+            n_intersections=25,
+            n_buses=40,
+            n_lines=6,
+            unreliable_fraction=0.2,
+            n_incidents=4,
+            incident_window=(0, 1200),
+        )
+    )
+
+
+def _engine(scenario, adaptive=True):
+    return RTEC(
+        build_traffic_definitions(
+            scenario.topology, adaptive=adaptive, noisy_variant="crowd"
+        ),
+        window=600,
+        step=300,
+        params=default_traffic_params(),
+    )
+
+
+class TestRtecProcessor:
+    def test_recognises_inside_streams_topology(self, scenario):
+        data = scenario.generate(0, 1200)
+        topo = Topology()
+        topo.add_source(Source("dublin", stream_items(data)))
+        rtec = RtecProcessor(_engine(scenario))
+        topo.add_process(
+            Process("cep", input="dublin", processors=[rtec], output="ce")
+        )
+        StreamRuntime(topo).run()
+        rtec.flush(1200)
+        assert len(rtec.log.snapshots) >= 3
+        ce_types = {item["@type"] for item in topo.queues["ce"]}
+        assert "busCongestion" in ce_types or "sourceDisagreement" in ce_types
+
+    def test_emits_episode_items(self, scenario):
+        data = scenario.generate(0, 900)
+        rtec = RtecProcessor(_engine(scenario))
+        out = []
+        for item in stream_items(data):
+            out.extend(rtec.process(item) or [])
+        out.extend(rtec.flush(900))
+        episodes = [i for i in out if i.get("episode")]
+        assert episodes
+        assert all("key" in i and "@time" in i for i in episodes)
+
+    def test_flush_runs_remaining_queries(self, scenario):
+        rtec = RtecProcessor(_engine(scenario))
+        assert rtec.log.snapshots == []
+        rtec.flush(900)
+        assert [s.query_time for s in rtec.log.snapshots] == [300, 600, 900]
+
+
+class TestCrowdsourcingProcessor:
+    def _processor(self, scenario):
+        engine = QueryExecutionEngine(seed=1)
+        int_id = scenario.topology.ids()[0]
+        lon, lat = scenario.topology.location(int_id)
+        for i in range(4):
+            engine.register(
+                Participant(f"p{i}", 0.05, lon=lon, lat=lat)
+            )
+        component = CrowdsourcingComponent(engine)
+        return CrowdsourcingProcessor(
+            component,
+            locate=scenario.topology.location,
+            truth_lookup=lambda i, t: "congestion",
+        ), int_id
+
+    def test_resolves_disagreement_items(self, scenario):
+        processor, int_id = self._processor(scenario)
+        item = {
+            "@type": "sourceDisagreement",
+            "@time": 600,
+            "key": (int_id,),
+            "episode": True,
+        }
+        result = processor.process(item)
+        assert result is not None
+        assert result["@type"] == "crowd"
+        assert result["value"] == "positive"
+        assert result["intersection"] == int_id
+
+    def test_ignores_other_items(self, scenario):
+        processor, _ = self._processor(scenario)
+        assert processor.process({"@type": "busCongestion", "@time": 1}) is None
+
+
+class TestFluentFeedbackProcessor:
+    def test_feeds_crowd_events_back(self, scenario):
+        engine = _engine(scenario)
+        feedback = FluentFeedbackProcessor(engine)
+        int_id = scenario.topology.ids()[0]
+        item = {
+            "@type": "crowd",
+            "@time": 100,
+            "@arrival": 100,
+            "intersection": int_id,
+            "lon": 0.0,
+            "lat": 0.0,
+            "value": "negative",
+            "label": "free_flow",
+            "confidence": 0.99,
+        }
+        assert feedback.process(dict(item)) is not None
+        snapshot = engine.query(300)
+        # The crowd event is visible to the engine's window.
+        assert snapshot.n_events == 1

@@ -1,0 +1,150 @@
+"""Tests for crowd-observation fusion and the rolling estimator."""
+
+import networkx as nx
+import pytest
+
+from repro.traffic_model import (
+    CONGESTED_FLOW,
+    FREE_FLOW,
+    CrowdFlowReport,
+    RollingFlowEstimator,
+    augment_observations,
+)
+
+
+class TestAugmentObservations:
+    def test_positive_pins_congested_flow(self):
+        merged = augment_observations(
+            {}, [CrowdFlowReport("n1", "positive", confidence=0.95)]
+        )
+        assert merged == {"n1": CONGESTED_FLOW}
+
+    def test_negative_pins_free_flow(self):
+        merged = augment_observations(
+            {}, [CrowdFlowReport("n1", "negative", confidence=0.95)]
+        )
+        assert merged == {"n1": FREE_FLOW}
+
+    def test_low_confidence_skipped(self):
+        merged = augment_observations(
+            {}, [CrowdFlowReport("n1", "positive", confidence=0.4)]
+        )
+        assert merged == {}
+
+    def test_sensor_wins_by_default(self):
+        merged = augment_observations(
+            {"n1": 777.0},
+            [CrowdFlowReport("n1", "positive", confidence=0.99)],
+        )
+        assert merged["n1"] == 777.0
+
+    def test_override_replaces_sensor(self):
+        merged = augment_observations(
+            {"n1": 777.0},
+            [CrowdFlowReport("n1", "positive", confidence=0.99)],
+            override_sensors=True,
+        )
+        assert merged["n1"] == CONGESTED_FLOW
+
+    def test_later_report_wins(self):
+        merged = augment_observations(
+            {},
+            [
+                CrowdFlowReport("n1", "positive", confidence=0.9, time=10),
+                CrowdFlowReport("n1", "negative", confidence=0.9, time=20),
+            ],
+        )
+        assert merged["n1"] == FREE_FLOW
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(ValueError, match="crowd value"):
+            augment_observations(
+                {}, [CrowdFlowReport("n1", "maybe", confidence=1.0)]
+            )
+
+    def test_original_mapping_untouched(self):
+        observations = {"n1": 500.0}
+        augment_observations(
+            observations,
+            [CrowdFlowReport("n2", "positive", confidence=1.0)],
+        )
+        assert observations == {"n1": 500.0}
+
+    def test_custom_levels(self):
+        merged = augment_observations(
+            {},
+            [CrowdFlowReport("n1", "positive", confidence=1.0)],
+            congested_flow=123.0,
+        )
+        assert merged["n1"] == 123.0
+
+
+class TestRollingFlowEstimator:
+    def _estimator(self, **kwargs):
+        graph = nx.convert_node_labels_to_integers(nx.grid_2d_graph(4, 4))
+        defaults = dict(alpha=5.0, beta=0.05, noise=5.0, staleness_s=600)
+        defaults.update(kwargs)
+        return RollingFlowEstimator(graph, **defaults), graph
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RollingFlowEstimator(nx.Graph())
+        graph = nx.path_graph(3)
+        with pytest.raises(ValueError):
+            RollingFlowEstimator(graph, staleness_s=0)
+
+    def test_observe_unknown_node(self):
+        estimator, _ = self._estimator()
+        with pytest.raises(KeyError):
+            estimator.observe("mars", 1.0, 0)
+
+    def test_no_data_returns_none(self):
+        estimator, _ = self._estimator()
+        assert estimator.estimate(1000) is None
+        assert estimator.coverage(1000) == 0.0
+
+    def test_estimates_all_junctions(self):
+        estimator, graph = self._estimator()
+        estimator.observe_many({0: 300.0, 15: 900.0}, time=100)
+        estimates = estimator.estimate(200)
+        assert set(estimates) == set(graph.nodes)
+        assert estimator.refits == 1
+
+    def test_latest_reading_wins(self):
+        estimator, _ = self._estimator()
+        estimator.observe(0, 100.0, time=10)
+        estimator.observe(0, 900.0, time=20)
+        assert estimator.active_observations(30)[0] == 900.0
+
+    def test_out_of_order_reading_ignored(self):
+        estimator, _ = self._estimator()
+        estimator.observe(0, 900.0, time=20)
+        estimator.observe(0, 100.0, time=10)  # stale duplicate
+        assert estimator.active_observations(30)[0] == 900.0
+
+    def test_staleness_ages_readings_out(self):
+        estimator, _ = self._estimator(staleness_s=100)
+        estimator.observe(0, 500.0, time=0)
+        assert estimator.active_observations(50)
+        assert not estimator.active_observations(200)
+        assert estimator.estimate(200) is None
+
+    def test_coverage_fraction(self):
+        estimator, graph = self._estimator()
+        estimator.observe_many({0: 1.0, 1: 2.0}, time=0)
+        assert estimator.coverage(10) == pytest.approx(2 / 16)
+
+    def test_estimates_track_observations(self):
+        estimator, _ = self._estimator(noise=1.0)
+        estimator.observe_many({0: 200.0, 15: 800.0}, time=0)
+        estimates = estimator.estimate(10)
+        assert estimates[0] < estimates[15]
+
+    def test_continuous_reestimation_follows_changes(self):
+        estimator, _ = self._estimator(noise=1.0, staleness_s=300)
+        estimator.observe_many({0: 200.0, 15: 200.0}, time=0)
+        first = estimator.estimate(10)
+        estimator.observe_many({0: 900.0, 15: 900.0}, time=400)
+        second = estimator.estimate(410)
+        assert second[5] > first[5]
+        assert estimator.refits == 2

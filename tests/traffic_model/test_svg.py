@@ -1,0 +1,112 @@
+"""Tests for the SVG city-map renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.traffic_model import render_city_svg, write_city_svg
+
+POSITIONS = {
+    "a": (-6.3, 53.3),
+    "b": (-6.2, 53.3),
+    "c": (-6.2, 53.4),
+}
+EDGES = [("a", "b"), ("b", "c")]
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestRenderCitySvg:
+    def test_valid_xml_with_network(self):
+        root = _parse(render_city_svg(POSITIONS, EDGES))
+        lines = root.findall(f".//{SVG_NS}line")
+        assert len(lines) == 2
+
+    def test_requires_positions(self):
+        with pytest.raises(ValueError):
+            render_city_svg({}, [])
+
+    def test_values_drawn_as_coloured_dots(self):
+        svg = render_city_svg(
+            POSITIONS, EDGES, values={"a": 0.0, "b": 50.0, "c": 100.0}
+        )
+        root = _parse(svg)
+        circles = root.findall(f".//{SVG_NS}circle")
+        assert len(circles) == 3
+        fills = {c.get("fill") for c in circles}
+        assert len(fills) == 3  # distinct shades along the ramp
+
+    def test_low_green_high_red(self):
+        svg = render_city_svg(POSITIONS, [], values={"a": 0.0, "c": 100.0})
+        root = _parse(svg)
+        circles = {
+            (float(c.get("cx")), float(c.get("cy"))): c.get("fill")
+            for c in root.findall(f".//{SVG_NS}circle")
+        }
+        fills = list(circles.values())
+        greens = [f for f in fills if f.startswith("#00")]
+        reds = [f for f in fills if f.startswith("#ff")]
+        assert greens and reds
+
+    def test_sensor_rings(self):
+        svg = render_city_svg(POSITIONS, EDGES, sensors=["a", "c", "ghost"])
+        root = _parse(svg)
+        rings = [
+            c for c in root.findall(f".//{SVG_NS}circle")
+            if c.get("r") == "4.5"
+        ]
+        assert len(rings) == 2
+
+    def test_unknown_edge_endpoints_skipped(self):
+        svg = render_city_svg(POSITIONS, [("a", "ghost")])
+        root = _parse(svg)
+        assert root.findall(f".//{SVG_NS}line") == []
+
+    def test_title_rendered(self):
+        svg = render_city_svg(POSITIONS, EDGES, title="Dublin flows")
+        assert "Dublin flows" in svg
+
+    def test_degenerate_single_point(self):
+        svg = render_city_svg({"only": (0.0, 0.0)}, [], values={"only": 5.0})
+        assert _parse(svg) is not None
+
+    def test_write_to_file(self, tmp_path):
+        path = write_city_svg(tmp_path / "map.svg", POSITIONS, EDGES)
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+    def test_deterministic(self):
+        a = render_city_svg(POSITIONS, EDGES, values={"a": 1.0})
+        b = render_city_svg(POSITIONS, EDGES, values={"a": 1.0})
+        assert a == b
+
+
+class TestEndToEndWithScenario:
+    def test_scenario_map(self, tmp_path):
+        from repro.dublin import DublinScenario, ScenarioConfig, greenshields_flow
+
+        scenario = DublinScenario(
+            ScenarioConfig(seed=3, rows=8, cols=8, n_intersections=15,
+                           n_buses=5, n_lines=3)
+        )
+        network = scenario.network
+        values = {
+            n: greenshields_flow(scenario.ground_truth.density(n, 3600))
+            for n in network.graph.nodes
+        }
+        path = write_city_svg(
+            tmp_path / "city.svg",
+            network.positions(),
+            network.graph.edges,
+            values=values,
+            sensors=scenario.node_of.values(),
+            title="synthetic Dublin",
+        )
+        root = _parse(path.read_text())
+        assert len(root.findall(f".//{SVG_NS}line")) == (
+            network.graph.number_of_edges()
+        )
