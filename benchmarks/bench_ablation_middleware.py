@@ -21,9 +21,9 @@ import pytest
 
 from repro.dublin import DublinScenario, ScenarioConfig
 from repro.streams import StreamRuntime
-from repro.system import SystemConfig, UrbanTrafficSystem, build_paper_topology
+from repro.system import UrbanTrafficSystem, build_paper_topology
 
-from conftest import emit
+from conftest import emit, system_config
 
 DURATION = 1800
 
@@ -48,8 +48,8 @@ def _run_direct():
     scenario = _scenario()
     system = UrbanTrafficSystem(
         scenario,
-        SystemConfig(adaptive=True, noisy_variant="crowd",
-                     n_participants=30, seed=59),
+        system_config(adaptive=True, noisy_variant="crowd",
+                      n_participants=30, seed=59),
     )
     t0 = time.process_time()
     report = system.run(0, DURATION)

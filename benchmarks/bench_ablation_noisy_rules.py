@@ -17,9 +17,9 @@ import pytest
 from repro.core import RTEC, RecognitionLog
 from repro.core.traffic import build_traffic_definitions, default_traffic_params
 from repro.dublin import DublinScenario, ScenarioConfig
-from repro.system import SystemConfig, UrbanTrafficSystem
+from repro.system import UrbanTrafficSystem
 
-from conftest import emit
+from conftest import emit, system_config
 
 DURATION = 2700
 
@@ -66,14 +66,14 @@ def _episode_precision(scenario, report):
 def _run(mode: str):
     scenario = _scenario()
     if mode == "static":
-        config = SystemConfig(adaptive=False, crowd_enabled=False, seed=23)
+        config = system_config(adaptive=False, crowd_enabled=False, seed=23)
     elif mode == "pessimistic":
-        config = SystemConfig(
+        config = system_config(
             adaptive=True, noisy_variant="pessimistic",
             crowd_enabled=False, seed=23,
         )
     else:  # crowd-validated (rule-set 4) with the crowd loop closed
-        config = SystemConfig(
+        config = system_config(
             adaptive=True, noisy_variant="crowd", crowd_enabled=True,
             n_participants=80, seed=23,
         )

@@ -52,6 +52,7 @@ def _measure():
     return means
 
 
+@pytest.mark.bench_smoke
 def test_fig6_query_engine_latency(benchmark):
     means = benchmark.pedantic(_measure, rounds=1, iterations=1)
 

@@ -14,7 +14,18 @@ from pathlib import Path
 
 import pytest
 
+from repro.system import SystemConfig
+
 OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+def system_config(**overrides) -> SystemConfig:
+    """Build a validated :class:`SystemConfig` for a benchmark run.
+
+    Goes through ``SystemConfig.from_mapping`` so a typo'd override
+    fails the bench loudly instead of silently running the default.
+    """
+    return SystemConfig.from_mapping(overrides)
 
 
 def bench_scale() -> float:

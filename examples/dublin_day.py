@@ -39,15 +39,15 @@ def build_scenario() -> DublinScenario:
 def run(adaptive: bool):
     system = UrbanTrafficSystem(
         build_scenario(),
-        SystemConfig(
-            window=900,
-            step=300,
-            adaptive=adaptive,
-            noisy_variant="pessimistic",
-            crowd_enabled=adaptive,
-            n_participants=60,
-            seed=21,
-        ),
+        SystemConfig.from_mapping({
+            "window": 900,
+            "step": 300,
+            "adaptive": adaptive,
+            "noisy_variant": "pessimistic",
+            "crowd_enabled": adaptive,
+            "n_participants": 60,
+            "seed": 21,
+        }),
     )
     return system, system.run(RUSH_START, RUSH_END)
 

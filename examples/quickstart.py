@@ -31,14 +31,16 @@ def main() -> None:
     )
     system = UrbanTrafficSystem(
         scenario,
-        SystemConfig(
-            window=600,
-            step=300,
-            adaptive=True,          # self-adaptive recognition (rule-set 3')
-            noisy_variant="crowd",  # rule-set (4): crowd-validated noisy
-            n_participants=50,
-            seed=7,
-        ),
+        # from_mapping validates the keys: a typo raises instead of
+        # silently running the defaults.
+        SystemConfig.from_mapping({
+            "window": 600,
+            "step": 300,
+            "adaptive": True,           # self-adaptive (rule-set 3')
+            "noisy_variant": "crowd",   # rule-set (4): crowd-validated
+            "n_participants": 50,
+            "seed": 7,
+        }),
     )
     report = system.run(0, 1800)
 

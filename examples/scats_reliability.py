@@ -55,15 +55,15 @@ def main() -> None:
 
     system = UrbanTrafficSystem(
         scenario,
-        SystemConfig(
-            window=900,
-            step=300,
-            adaptive=True,
-            noisy_variant="crowd",
-            scats_reliability=True,   # the omitted formalisation
-            n_participants=80,
-            seed=67,
-        ),
+        SystemConfig.from_mapping({
+            "window": 900,
+            "step": 300,
+            "adaptive": True,
+            "noisy_variant": "crowd",
+            "scats_reliability": True,   # the omitted formalisation
+            "n_participants": 80,
+            "seed": 67,
+        }),
     )
     report = system.run(0, DURATION)
 

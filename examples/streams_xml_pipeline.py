@@ -21,7 +21,8 @@ from repro.crowd import (
     QueryExecutionEngine,
 )
 from repro.dublin import DublinScenario, ScenarioConfig, stream_items
-from repro.streams import StreamRuntime, parse_topology
+from repro.obs import Registry
+from repro.streams import Counter, StreamRuntime, parse_topology
 from repro.system import (
     CrowdsourcingProcessor,
     FluentFeedbackProcessor,
@@ -96,7 +97,16 @@ def main() -> None:
     }
 
     topology = parse_topology(PIPELINE_XML, registry)
-    stats = StreamRuntime(topology).run()
+    # The parsed graph can be extended with the fluent builder — no
+    # add_* boilerplate; here an operator tap counts the crowd answers
+    # flowing through the queue the XML declared:
+    answer_counter = Counter(group_by="value")
+    topology.process(
+        "operator-tap", input="crowd-answers", processors=[answer_counter]
+    )
+
+    metrics = Registry()
+    stats = StreamRuntime(topology, metrics=metrics).run()
     rtec_processor.flush(1800)
 
     print(f"runtime processed {stats.items_ingested} items")
@@ -112,12 +122,18 @@ def main() -> None:
         print(f"  {ce_type:<24} {count:>6}")
 
     answers = topology.queues["crowd-answers"].snapshot()
-    print(f"\ncrowd answers produced: {len(answers)}")
+    print(f"\ncrowd answers produced: {len(answers)} "
+          f"(tap saw {answer_counter.per_group})")
     for item in answers[:5]:
         print(
             f"  t={item['@time']:>6} {item['intersection']} -> "
             f"{item['value']} (confidence {item['confidence']:.2f})"
         )
+
+    print("\nper-process throughput (items/s):")
+    for name, value in metrics.gauges().items():
+        if name.endswith(".items_per_s"):
+            print(f"  {name:<44} {value:>12.0f}")
 
 
 if __name__ == "__main__":

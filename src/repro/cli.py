@@ -5,6 +5,7 @@ Subcommands mirror the library's main entry points::
     repro-traffic generate  --out day.jsonl   # materialise an SDE stream
     repro-traffic recognise --duration 1800   # RTEC over a scenario
     repro-traffic run       --duration 1800   # the full closed loop
+    repro-traffic metrics   --duration 1800   # runtime metrics report
     repro-traffic map       --at 900          # GP city flow map
     repro-traffic crowd     --queries 500     # online EM demo
 
@@ -133,19 +134,24 @@ def _cmd_recognise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _system_config_from(args: argparse.Namespace) -> SystemConfig:
+    """One validated mapping instead of hand-rolled kwargs."""
+    mapping = {
+        "window": args.window,
+        "step": args.step,
+        "adaptive": args.adaptive,
+        "noisy_variant": args.noisy_variant,
+        "n_participants": args.participants,
+        "seed": args.seed,
+    }
+    if getattr(args, "parallel", False):
+        mapping["parallel_regions"] = True
+    return SystemConfig.from_mapping(mapping)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     scenario = _scenario_from(args)
-    system = UrbanTrafficSystem(
-        scenario,
-        SystemConfig(
-            window=args.window,
-            step=args.step,
-            adaptive=args.adaptive,
-            noisy_variant=args.noisy_variant,
-            n_participants=args.participants,
-            seed=args.seed,
-        ),
-    )
+    system = UrbanTrafficSystem(scenario, _system_config_from(args))
     report = system.run(0, args.duration)
     print(report.console.render(limit=args.alerts))
     print()
@@ -159,6 +165,96 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.map:
         print()
         print(system.render_city_map(args.duration))
+    return 0
+
+
+def _render_metrics(registry) -> str:
+    """Sectioned text report of a metrics registry."""
+    counters = registry.counters()
+    gauges = registry.gauges()
+    timings = registry.timings()
+
+    lines: list[str] = []
+    throughput = sorted(
+        name for name in gauges if name.endswith(".items_per_s")
+    )
+    if throughput:
+        lines.append("per-process throughput:")
+        for name in throughput:
+            process = name[: -len(".items_per_s")]
+            items = counters.get(f"{process}.items", 0) or counters.get(
+                f"{process}.consumed", 0
+            )
+            lines.append(
+                f"  {process:<34} {items:>8} items  "
+                f"{gauges[name]:>12.0f} items/s"
+            )
+
+    definition_timings = sorted(
+        (
+            (t.total, name, t)
+            for name, t in timings.items()
+            if name.startswith("rtec.definition.")
+        ),
+        reverse=True,
+    )
+    if definition_timings:
+        lines.append("rtec per-definition timings (by total CPU):")
+        for total, name, t in definition_timings:
+            short = name[len("rtec.definition."):-len(".seconds")]
+            lines.append(
+                f"  {short:<34} {t.count:>6} obs  "
+                f"total {total * 1000:>9.2f} ms  "
+                f"mean {t.mean * 1000:>7.3f} ms"
+            )
+
+    lines.append("counters:")
+    for name, value in counters.items():
+        lines.append(f"  {name:<44} {value:>10}")
+    lines.append("gauges:")
+    for name, value in gauges.items():
+        lines.append(f"  {name:<44} {value:>10.2f}")
+    lines.append("timings (count / total s / mean ms):")
+    for name, t in timings.items():
+        lines.append(
+            f"  {name:<44} {t.count:>7} {t.total:>10.4f} "
+            f"{t.mean * 1000:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    scenario = _scenario_from(args)
+    system = UrbanTrafficSystem(scenario, _system_config_from(args))
+    system.run(0, args.duration)
+    registry = system.metrics
+
+    if args.streams:
+        # Also execute the paper's Streams data-flow graph so the
+        # report includes per-process middleware throughput
+        # (streams.process.*), not just the per-region engines.
+        from .streams import StreamRuntime
+        from .system import build_paper_topology
+
+        data = scenario.generate(0, args.duration)
+        paper = build_paper_topology(
+            scenario,
+            data,
+            window=args.window,
+            step=args.step,
+            noisy_variant=args.noisy_variant,
+            n_participants=args.participants,
+            seed=args.seed,
+        )
+        StreamRuntime(paper.topology, metrics=registry).run()
+        paper.flush(args.duration)
+
+    print(_render_metrics(registry))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(registry.to_json(indent=2))
+            fh.write("\n")
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -272,7 +368,43 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--map", action="store_true", help="print the GP city map"
     )
+    run.add_argument(
+        "--parallel", action="store_true",
+        help="fan per-region recognition out over a thread pool",
+    )
     run.set_defaults(fn=_cmd_run)
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="run the closed loop and report runtime metrics "
+        "(throughput, RTEC timings, crowd counters)",
+    )
+    _add_scenario_arguments(metrics)
+    metrics.add_argument("--window", type=int, default=600)
+    metrics.add_argument("--step", type=int, default=300)
+    metrics.add_argument("--adaptive", action="store_true", default=True)
+    metrics.add_argument(
+        "--static", dest="adaptive", action="store_false",
+        help="disable self-adaptation",
+    )
+    metrics.add_argument(
+        "--noisy-variant", choices=("crowd", "pessimistic"), default="crowd"
+    )
+    metrics.add_argument("--participants", type=int, default=50)
+    metrics.add_argument(
+        "--parallel", action="store_true",
+        help="fan per-region recognition out over a thread pool",
+    )
+    metrics.add_argument(
+        "--streams", action="store_true",
+        help="also execute the Streams data-flow graph and report "
+        "per-process middleware throughput",
+    )
+    metrics.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the full registry export as JSON",
+    )
+    metrics.set_defaults(fn=_cmd_metrics)
 
     city_map = subparsers.add_parser(
         "map", help="print the GP flow map of the city"

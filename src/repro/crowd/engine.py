@@ -29,6 +29,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs import Registry
 from .latency import LatencyModel
 from .model import AnswerSet, DisagreementTask, Participant
 from .selection import AllParticipants, SelectionPolicy
@@ -112,6 +113,10 @@ class QueryExecutionEngine:
         registered participant.
     seed:
         Seed for the answer-simulation RNG.
+    metrics:
+        Optional :class:`repro.obs.Registry`; when given, the engine
+        counts queries/answers and records per-task engine latency
+        under ``crowd.engine.*`` (see ``docs/observability.md``).
     """
 
     def __init__(
@@ -119,9 +124,11 @@ class QueryExecutionEngine:
         latency_model: Optional[LatencyModel] = None,
         policy: Optional[SelectionPolicy] = None,
         seed: int = 0,
+        metrics: Optional[Registry] = None,
     ):
         self.latency_model = latency_model or LatencyModel(seed=seed)
         self.policy = policy or AllParticipants()
+        self.metrics = metrics
         self._rng = random.Random(seed)
         self._devices: dict[str, Participant] = {}
         self._online: dict[str, bool] = {}
@@ -233,6 +240,15 @@ class QueryExecutionEngine:
                 )
 
         self.queries_executed += 1
+        if self.metrics is not None:
+            self.metrics.counter("crowd.engine.queries").inc()
+            self.metrics.counter("crowd.engine.selected").inc(len(selected))
+            self.metrics.counter("crowd.engine.answers").inc(
+                sum(1 for e in executions if e.answered)
+            )
+            latency = self.metrics.timing("crowd.engine.engine_ms")
+            for execution in executions:
+                latency.observe(execution.engine_ms)
         return QueryExecutionResult(
             query=query,
             selected=[p.participant_id for p in selected],

@@ -1,0 +1,9 @@
+"""Observability: runtime counters, gauges and timing histograms.
+
+See :mod:`repro.obs.metrics` for the instruments and
+``docs/observability.md`` for the metric names each subsystem emits.
+"""
+
+from .metrics import Counter, Gauge, Registry, Timing
+
+__all__ = ["Counter", "Gauge", "Registry", "Timing"]

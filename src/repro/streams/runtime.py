@@ -8,18 +8,27 @@ merged by arrival time and pushed through their consuming processes;
 items a process emits to a queue are delivered to the queue's consumers
 at the same timestamp, before any later source item.  The result is a
 deterministic execution whose outputs depend only on the inputs.
+
+Dispatch is driven by a *consumer index* precomputed by
+:meth:`Topology.validate`: delivering an item costs one dict lookup
+instead of a scan over every process, and runs of items sharing the
+same arrival time and input are drained from the schedule in one batch
+so the lookup (and the heap traffic) is paid once per run, not once
+per item.
 """
 
 from __future__ import annotations
 
 import heapq
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Optional
 
+from ..obs import Registry
 from .items import DataItem, item_arrival
 from .processes import Process, Queue, Source
-from .processors import ProcessorContext, normalise_result
+from .processors import Processor, ProcessorContext, normalise_result
 from .services import ServiceRegistry
 
 
@@ -30,6 +39,8 @@ class RunStats:
     items_ingested: int = 0
     items_delivered: int = 0
     per_process: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: Wall-clock seconds of the dispatch loop.
+    wall_seconds: float = 0.0
 
     def record_process(self, process: Process) -> None:
         """Store a process's consumed/produced counters."""
@@ -37,13 +48,30 @@ class RunStats:
 
 
 class Topology:
-    """A data-flow graph: sources, queues, processes and services."""
+    """A data-flow graph: sources, queues, processes and services.
+
+    Nodes can be registered with the classic ``add_*`` methods or with
+    the fluent builder methods (:meth:`source`, :meth:`process`,
+    :meth:`queue`, :meth:`service`), which return the topology so a
+    whole graph reads as one chained expression::
+
+        topo = (
+            Topology()
+            .source("readings", items)
+            .process("clean", input="readings",
+                     processors=[Filter(keep)], output="clean")
+            .process("sink", input="clean", processors=[Collect()])
+        )
+    """
 
     def __init__(self) -> None:
         self.sources: dict[str, Source] = {}
         self.queues: dict[str, Queue] = {}
         self.processes: dict[str, Process] = {}
         self.services = ServiceRegistry()
+        #: ``input name -> consuming processes``, rebuilt by
+        #: :meth:`validate`; ``None`` marks the index as stale.
+        self._consumer_index: Optional[dict[str, list[Process]]] = None
 
     # -- construction ----------------------------------------------------
     def add_source(self, source: Source) -> Source:
@@ -56,6 +84,11 @@ class Topology:
     def add_queue(self, name: str) -> Queue:
         """Register (or fetch) a named queue."""
         if name not in self.queues:
+            if name in self.sources:
+                raise ValueError(
+                    f"queue {name!r} would shadow the source of the same "
+                    "name in consumer resolution; rename one of them"
+                )
             self.queues[name] = Queue(name)
         return self.queues[name]
 
@@ -64,12 +97,81 @@ class Topology:
         if process.name in self.processes:
             raise ValueError(f"duplicate process: {process.name!r}")
         self.processes[process.name] = process
-        if process.output is not None:
-            self.add_queue(process.output)
+        self._consumer_index = None
+        if process.output is not None and process.output not in self.queues:
+            # Created directly (not via add_queue) so that registration
+            # order stays free: a collision with a source declared in
+            # either order is reported by validate(), not here.
+            self.queues[process.output] = Queue(process.output)
         return self.processes[process.name]
 
+    # -- fluent builder --------------------------------------------------
+    def source(self, name, items: Iterable[DataItem] = ()) -> "Topology":
+        """Builder: register a source and return the topology.
+
+        Accepts either a ready :class:`Source` instance (``items`` is
+        then ignored) or a name plus the items to wrap.
+        """
+        if isinstance(name, Source):
+            self.add_source(name)
+        else:
+            self.add_source(Source(name, items))
+        return self
+
+    def process(
+        self,
+        name,
+        *,
+        input: Optional[str] = None,
+        processors: Optional[Sequence[Processor]] = None,
+        output: Optional[str] = None,
+    ) -> "Topology":
+        """Builder: register a process node and return the topology.
+
+        Accepts either a ready :class:`Process` instance (the keyword
+        arguments are then ignored) or a name plus ``input`` and
+        ``processors``.
+        """
+        if isinstance(name, Process):
+            self.add_process(name)
+            return self
+        if input is None or processors is None:
+            raise TypeError(
+                "process() needs input= and processors= (or a Process "
+                "instance)"
+            )
+        self.add_process(
+            Process(name, input=input, processors=processors, output=output)
+        )
+        return self
+
+    def queue(self, name: str) -> "Topology":
+        """Builder: pre-register a named queue and return the topology."""
+        self.add_queue(name)
+        return self
+
+    def service(self, name: str, obj) -> "Topology":
+        """Builder: register a shared service and return the topology."""
+        self.services.register(name, obj)
+        return self
+
+    # -- validation / dispatch index --------------------------------------
     def validate(self) -> None:
-        """Check that every process input resolves to a source/queue."""
+        """Check the graph and (re)build the consumer index.
+
+        Raises when a process consumes an unknown input, or when a
+        process output (or pre-registered queue) carries the same name
+        as a source: both would resolve to the *same* consumer list, so
+        queue items would silently masquerade as source items.
+        """
+        shadowed = sorted(set(self.queues) & set(self.sources))
+        if shadowed:
+            raise ValueError(
+                f"queue name(s) {shadowed!r} collide with source name(s): "
+                "items enqueued there would shadow the source in consumer "
+                "resolution; rename the queue or the source"
+            )
+        index: dict[str, list[Process]] = {}
         for process in self.processes.values():
             known = process.input in self.sources or process.input in self.queues
             if not known:
@@ -77,24 +179,48 @@ class Topology:
                     f"process {process.name!r} consumes unknown input "
                     f"{process.input!r}"
                 )
+            index.setdefault(process.input, []).append(process)
+        self._consumer_index = index
+
+    def consumers_of(self, input_name: str) -> list[Process]:
+        """The processes consuming ``input_name`` (indexed lookup).
+
+        Builds the index on first use when :meth:`validate` has not run
+        (or the graph changed since).
+        """
+        if self._consumer_index is None:
+            self.validate()
+        assert self._consumer_index is not None
+        return self._consumer_index.get(input_name, [])
 
 
 class StreamRuntime:
-    """Executes a :class:`Topology` deterministically."""
+    """Executes a :class:`Topology` deterministically.
 
-    def __init__(self, topology: Topology):
+    Parameters
+    ----------
+    topology:
+        The graph to run.
+    metrics:
+        Optional :class:`repro.obs.Registry`; when given, the runtime
+        records per-process item counters, chain timings and an
+        ``items_per_s`` throughput gauge under ``streams.process.<name>.*``
+        (see ``docs/observability.md``).
+    """
+
+    def __init__(
+        self, topology: Topology, metrics: Optional[Registry] = None
+    ):
         self.topology = topology
+        self.metrics = metrics
         self._contexts: dict[str, ProcessorContext] = {}
         #: Arrival time of the item currently being processed.
         self.now: Optional[int] = None
 
     # ------------------------------------------------------------------
     def _consumers_of(self, input_name: str) -> list[Process]:
-        return [
-            p
-            for p in self.topology.processes.values()
-            if p.input == input_name
-        ]
+        """Indexed consumer lookup (kept for API compatibility)."""
+        return self.topology.consumers_of(input_name)
 
     def run(self) -> RunStats:
         """Drain all sources through the graph; returns run statistics."""
@@ -119,35 +245,85 @@ class StreamRuntime:
                 seq += 1
                 stats.items_ingested += 1
 
+        timed = self.metrics is not None
+        chain_seconds: dict[str, float] = {}
+        t_run = perf_counter()
         while heap:
             arrival, _, input_name, item = heapq.heappop(heap)
             self.now = arrival
-            # Queue items were already retained at emission time; here
-            # they are only forwarded to consuming processes (if any).
-            for process in self._consumers_of(input_name):
-                for out_item in self._run_chain(process, dict(item)):
-                    stats.items_delivered += 1
-                    if process.output is not None:
-                        topo.queues[process.output].put(dict(out_item))
+            # Drain the whole same-timestamp run for this input in one
+            # batch: items pushed during processing carry later
+            # sequence numbers, so batching preserves the exact
+            # delivery order of item-at-a-time dispatch.
+            batch = [item]
+            while (
+                heap
+                and heap[0][0] == arrival
+                and heap[0][2] == input_name
+            ):
+                batch.append(heapq.heappop(heap)[3])
+            consumers = topo.consumers_of(input_name)
+            if not consumers:
+                continue
+            for item in batch:
+                # Queue items were already retained at emission time;
+                # here they are only forwarded to consuming processes.
+                for process in consumers:
+                    if timed:
+                        t0 = perf_counter()
+                    for out_item in self._run_chain(process, dict(item)):
+                        stats.items_delivered += 1
+                        if process.output is not None:
+                            topo.queues[process.output].put(dict(out_item))
+                            heapq.heappush(
+                                heap,
+                                (arrival, seq, process.output, out_item),
+                            )
+                            seq += 1
+                    # Explicit context emissions go to their queues too.
+                    context = self._contexts[process.name]
+                    for queue_name, emitted in context.drain_emissions():
+                        queue = topo.add_queue(queue_name)
+                        queue.put(dict(emitted))
                         heapq.heappush(
-                            heap,
-                            (arrival, seq, process.output, out_item),
+                            heap, (arrival, seq, queue_name, emitted)
                         )
                         seq += 1
-                # Explicit context emissions go to their queues too.
-                context = self._contexts[process.name]
-                for queue_name, emitted in context.drain_emissions():
-                    queue = topo.add_queue(queue_name)
-                    queue.put(dict(emitted))
-                    heapq.heappush(heap, (arrival, seq, queue_name, emitted))
-                    seq += 1
+                    if timed:
+                        chain_seconds[process.name] = (
+                            chain_seconds.get(process.name, 0.0)
+                            + (perf_counter() - t0)
+                        )
+        stats.wall_seconds = perf_counter() - t_run
 
         for process in topo.processes.values():
             for processor in process.processors:
                 processor.finish()
             stats.record_process(process)
         topo.services.stop_all()
+        if self.metrics is not None:
+            self._record_metrics(stats, chain_seconds)
         return stats
+
+    def _record_metrics(
+        self, stats: RunStats, chain_seconds: dict[str, float]
+    ) -> None:
+        """Publish the run's counters/timings into the registry."""
+        registry = self.metrics
+        assert registry is not None
+        registry.counter("streams.items.ingested").inc(stats.items_ingested)
+        registry.counter("streams.items.delivered").inc(stats.items_delivered)
+        registry.timing("streams.run.seconds").observe(stats.wall_seconds)
+        for name, (consumed, produced) in stats.per_process.items():
+            prefix = f"streams.process.{name}"
+            registry.counter(f"{prefix}.consumed").inc(consumed)
+            registry.counter(f"{prefix}.produced").inc(produced)
+            seconds = chain_seconds.get(name, 0.0)
+            registry.timing(f"{prefix}.seconds").observe(seconds)
+            if seconds > 0.0:
+                registry.gauge(f"{prefix}.items_per_s").set(
+                    consumed / seconds
+                )
 
     def _run_chain(
         self, process: Process, item: DataItem

@@ -16,12 +16,20 @@ Wires all four components into the closed loop the paper describes:
 
 from __future__ import annotations
 
+import difflib
+import pickle
 import random
-from dataclasses import dataclass, field
-from typing import Literal, Optional
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass, field, fields
+from typing import Literal, Mapping, Optional
 
 from ..core.events import Event
-from ..core.rtec import RTEC, RecognitionLog
+from ..core.rtec import RTEC, RecognitionLog, RecognitionSnapshot
+from ..obs import Registry
 from ..core.traffic import build_traffic_definitions, default_traffic_params
 from ..crowd import (
     CrowdsourcingComponent,
@@ -63,6 +71,17 @@ class SystemConfig:
     #: Distribute recognition across the four city regions (Section 7.1)
     #: or run a single engine.
     distribute_by_region: bool = True
+    #: Fan the per-region recognition queries out over an executor
+    #: (Section 7.1's parallel deployment).  The merge is deterministic:
+    #: results are applied in region order, so recognised CEs, operator
+    #: alerts and crowd handling are identical to the sequential path.
+    parallel_regions: bool = False
+    #: Executor backend for ``parallel_regions``: threads by default;
+    #: ``"process"`` uses a process pool when the engines are
+    #: pickle-safe and falls back to threads otherwise.
+    parallel_backend: Literal["thread", "process"] = "thread"
+    #: Worker count for the executor (``None``: one per region).
+    parallel_workers: Optional[int] = None
     #: Crowdsourcing: number of simulated participants and their
     #: error-probability range; participants are scattered near SCATS
     #: intersections.
@@ -99,6 +118,69 @@ class SystemConfig:
     flow_staleness_s: int = 1800
     seed: int = 0
 
+    def __post_init__(self) -> None:
+        if self.window <= 0 or self.step <= 0:
+            raise ValueError("window and step must be positive")
+        if self.step > self.window:
+            raise ValueError(
+                "step must not exceed the window: SDEs occurring between "
+                "windows would never be considered"
+            )
+        if self.noisy_variant not in ("crowd", "pessimistic"):
+            raise ValueError(
+                f"noisy_variant must be 'crowd' or 'pessimistic', "
+                f"got {self.noisy_variant!r}"
+            )
+        if self.parallel_backend not in ("thread", "process"):
+            raise ValueError(
+                f"parallel_backend must be 'thread' or 'process', "
+                f"got {self.parallel_backend!r}"
+            )
+        if self.n_participants < 0:
+            raise ValueError("n_participants must not be negative")
+        lo, hi = self.participant_error_range
+        if not (0.0 <= lo <= hi <= 1.0):
+            raise ValueError(
+                "participant_error_range must satisfy 0 <= lo <= hi <= 1, "
+                f"got {self.participant_error_range!r}"
+            )
+        if self.parallel_workers is not None and self.parallel_workers < 1:
+            raise ValueError("parallel_workers must be at least 1")
+        if self.crowd_cooldown_s < 0 or self.prior_window <= 0:
+            raise ValueError(
+                "crowd_cooldown_s must be >= 0 and prior_window > 0"
+            )
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, object]) -> "SystemConfig":
+        """Build a validated config from a plain mapping.
+
+        The single entry point for CLI arguments, benchmark overrides
+        and example scripts: unknown keys are rejected (with a
+        closest-match hint) instead of silently ignored, list values
+        for tuple-typed fields are coerced, and the resulting config
+        goes through the same ``__post_init__`` validation as direct
+        construction.
+        """
+        known = {f.name: f for f in fields(cls)}
+        unknown = sorted(set(mapping) - set(known))
+        if unknown:
+            hints = []
+            for key in unknown:
+                close = difflib.get_close_matches(key, known, n=1)
+                hint = f" (did you mean {close[0]!r}?)" if close else ""
+                hints.append(f"{key!r}{hint}")
+            raise ValueError(
+                f"unknown SystemConfig key(s): {', '.join(hints)}; "
+                f"valid keys: {', '.join(sorted(known))}"
+            )
+        kwargs = {}
+        for key, value in mapping.items():
+            if isinstance(value, list):
+                value = tuple(value)
+            kwargs[key] = value
+        return cls(**kwargs)
+
 
 @dataclass
 class SystemReport:
@@ -113,6 +195,10 @@ class SystemReport:
     flow_estimates: dict = field(default_factory=dict)
     #: Participant rewards settled at the end of the run.
     rewards: dict = field(default_factory=dict)
+    #: Runtime metrics export (``repro.obs.Registry.to_dict()``):
+    #: per-region throughput, per-definition RTEC timings, crowd query
+    #: counters, flow-estimator gauges.  See ``docs/observability.md``.
+    metrics: dict = field(default_factory=dict)
 
     @property
     def mean_recognition_time(self) -> float:
@@ -151,6 +237,13 @@ class SystemReport:
         return total
 
 
+def _query_engine_remote(
+    engine: RTEC, q: int
+) -> tuple[RecognitionSnapshot, RTEC]:
+    """Process-pool worker: query and ship the mutated engine back."""
+    return engine.query(q), engine
+
+
 class UrbanTrafficSystem:
     """Orchestrates a full scenario run with the feedback loop closed."""
 
@@ -162,6 +255,9 @@ class UrbanTrafficSystem:
         self.scenario = scenario
         self.config = config or SystemConfig()
         cfg = self.config
+        #: Runtime metrics shared by every component of this system;
+        #: exported into :attr:`SystemReport.metrics` after each run.
+        self.metrics = Registry()
 
         params = default_traffic_params()
         regions = list(REGIONS) if cfg.distribute_by_region else ["city"]
@@ -194,6 +290,7 @@ class UrbanTrafficSystem:
             beta=cfg.gp_beta,
             noise=cfg.gp_noise,
             staleness_s=cfg.flow_staleness_s,
+            metrics=self.metrics,
         )
         #: Recent bus congestion reports per intersection, feeding the
         #: Section 5.1 priors; populated during run().
@@ -209,6 +306,7 @@ class UrbanTrafficSystem:
         engine = QueryExecutionEngine(
             policy=LocationPolicy(radius_m=cfg.participant_radius_m),
             seed=cfg.seed + 101,
+            metrics=self.metrics,
         )
         intersections = self.scenario.topology.ids()
         lo, hi = cfg.participant_error_range
@@ -263,7 +361,18 @@ class UrbanTrafficSystem:
         return bus_report_prior(sum(recent), len(recent))
 
     def run(self, start: int, end: int) -> SystemReport:
-        """Run the full loop over ``[start, end)`` and report."""
+        """Run the full loop over ``[start, end)`` and report.
+
+        With ``config.parallel_regions`` the per-region recognition
+        queries of each step run concurrently on an executor; the
+        results are then *applied* strictly in region order.  Because a
+        crowd SDE produced while handling one region's results carries
+        an occurrence time after the current query time, it can never
+        enter another region's window at the same step — so the
+        parallel schedule recognises exactly what the sequential one
+        does (the parity test in ``tests/system/test_parallel.py``
+        asserts this end to end).
+        """
         data = self.scenario.generate(start, end)
         self._index_inputs(data)
         if self.config.distribute_by_region:
@@ -276,21 +385,109 @@ class UrbanTrafficSystem:
         logs = {region: RecognitionLog() for region in self.engines}
         report = SystemReport(logs=logs, console=self.console)
 
-        q = start + self.config.step
-        while q <= end:
-            for region, engine in self.engines.items():
-                snapshot = engine.query(q)
-                fresh = logs[region].add(snapshot)
-                self._surface_alerts(region, fresh)
-                self._handle_disagreements(region, q, snapshot, fresh, report)
-            q += self.config.step
+        executor = self._make_executor()
+        try:
+            q = start + self.config.step
+            while q <= end:
+                snapshots = self._query_regions(q, executor)
+                for region, snapshot in snapshots.items():
+                    self._record_query_metrics(region, snapshot)
+                    fresh = logs[region].add(snapshot)
+                    self._surface_alerts(region, fresh)
+                    self._handle_disagreements(
+                        region, q, snapshot, fresh, report
+                    )
+                q += self.config.step
+        finally:
+            if executor is not None:
+                executor.shutdown()
 
         report.flow_estimates = self.estimate_citywide(end)
         if self.reward_ledger is not None and self.crowd is not None:
             report.rewards = self.reward_ledger.settle(
                 self.crowd.aggregator
             )
+        self._finalise_metrics(end)
+        report.metrics = self.metrics.to_dict()
         return report
+
+    # ------------------------------------------------------------------
+    def _make_executor(self) -> Optional[Executor]:
+        """The executor for parallel per-region queries, or ``None``.
+
+        ``"process"`` requires pickle-safe engines (the query mutates
+        engine state, so workers ship the engine back); when pickling
+        fails the system degrades to threads and says so in the
+        ``system.parallel.pickle_fallback`` gauge.
+        """
+        cfg = self.config
+        if not cfg.parallel_regions or len(self.engines) < 2:
+            return None
+        workers = cfg.parallel_workers or len(self.engines)
+        if cfg.parallel_backend == "process":
+            try:
+                pickle.dumps(self.engines)
+            except Exception:
+                self.metrics.gauge("system.parallel.pickle_fallback").set(1)
+            else:
+                return ProcessPoolExecutor(max_workers=workers)
+        return ThreadPoolExecutor(max_workers=workers)
+
+    def _query_regions(
+        self, q: int, executor: Optional[Executor]
+    ) -> dict[str, RecognitionSnapshot]:
+        """One recognition step over all regions, in region order."""
+        if executor is None:
+            return {
+                region: engine.query(q)
+                for region, engine in self.engines.items()
+            }
+        if isinstance(executor, ProcessPoolExecutor):
+            futures = {
+                region: executor.submit(_query_engine_remote, engine, q)
+                for region, engine in self.engines.items()
+            }
+            snapshots: dict[str, RecognitionSnapshot] = {}
+            for region, future in futures.items():
+                snapshot, engine = future.result()
+                # The worker mutated a copy; adopt it so window caches
+                # and pruning carry over to the next step.
+                self.engines[region] = engine
+                snapshots[region] = snapshot
+            return snapshots
+        futures = {
+            region: executor.submit(engine.query, q)
+            for region, engine in self.engines.items()
+        }
+        return {region: f.result() for region, f in futures.items()}
+
+    # ------------------------------------------------------------------
+    def _record_query_metrics(
+        self, region: str, snapshot: RecognitionSnapshot
+    ) -> None:
+        """Per-region throughput and per-definition RTEC timings."""
+        prefix = f"process.cep-{region}"
+        self.metrics.counter(f"{prefix}.queries").inc()
+        self.metrics.counter(f"{prefix}.items").inc(snapshot.n_events)
+        self.metrics.timing(f"{prefix}.seconds").observe(snapshot.elapsed)
+        for name, elapsed in snapshot.per_definition.items():
+            self.metrics.timing(
+                f"rtec.definition.{name}.seconds"
+            ).observe(elapsed)
+
+    def _finalise_metrics(self, end: int) -> None:
+        """Derived gauges computed once per run."""
+        for region in self.engines:
+            prefix = f"process.cep-{region}"
+            items = self.metrics.counter(f"{prefix}.items").value
+            seconds = self.metrics.timing(f"{prefix}.seconds").total
+            if seconds > 0.0:
+                self.metrics.gauge(f"{prefix}.items_per_s").set(
+                    items / seconds
+                )
+        self.metrics.gauge("flow.coverage").set(
+            self.flow_estimator.coverage(end)
+        )
 
     # ------------------------------------------------------------------
     def _surface_alerts(self, region: str, fresh) -> None:
@@ -358,17 +555,21 @@ class UrbanTrafficSystem:
                 start, "source disagreement", str(int_id),
                 "buses and SCATS sensors disagree on congestion", region,
             )
+            self.metrics.counter("crowd.disagreements").inc()
             if self.crowd is None:
                 report.crowd_unresolved += 1
+                self.metrics.counter("crowd.unresolved").inc()
                 continue
             last = self._last_query_at.get(int_id)
             if last is not None and q - last < cfg.crowd_cooldown_s:
                 report.crowd_suppressed += 1
+                self.metrics.counter("crowd.suppressed").inc()
                 continue
             if cfg.adaptive and cfg.crowd_min_support > 1:
                 support = self._disagreement_support(snapshot, int_id)
                 if support < cfg.crowd_min_support:
                     report.crowd_suppressed += 1
+                    self.metrics.counter("crowd.suppressed").inc()
                     continue
             self._last_query_at[int_id] = q
             node = self.scenario.node_of[int_id]
@@ -384,8 +585,10 @@ class UrbanTrafficSystem:
             )
             if outcome.crowd_event is None:
                 report.crowd_unresolved += 1
+                self.metrics.counter("crowd.unresolved").inc()
                 continue
             report.crowd_resolutions += 1
+            self.metrics.counter("crowd.resolved").inc()
             if self.reward_ledger is not None:
                 self.reward_ledger.record_answers(
                     outcome.execution.answer_set.answers

@@ -35,7 +35,7 @@ from ..crowd import (
 )
 from ..dublin import REGIONS, DublinScenario
 from ..dublin.dataset import event_to_item, fact_to_item
-from ..streams import Process, Processor, Source, Topology
+from ..streams import Processor, Topology
 from ..streams.items import TIME_KEY
 from ..traffic_model import RollingFlowEstimator
 from .processors import (
@@ -91,14 +91,14 @@ def build_paper_topology(
             bus_items.append(event_to_item(event))
     for fact in data.facts:
         bus_items.append(fact_to_item(fact))
-    topology.add_source(Source("buses", bus_items))
+    topology.source("buses", bus_items)
 
     for region in REGIONS:
         events, _ = split[region]
         items = [
             event_to_item(e) for e in events if e.type == "traffic"
         ]
-        topology.add_source(Source(f"scats-{region}", items))
+        topology.source(f"scats-{region}", items)
 
     # Region of every bus emission, from its gps position.
     region_index = {
@@ -111,7 +111,7 @@ def build_paper_topology(
 
     # --- traffic-model service ---------------------------------------------
     flow_estimator = RollingFlowEstimator(scenario.network.graph)
-    topology.services.register("traffic-model", flow_estimator)
+    topology.service("traffic-model", flow_estimator)
 
     # --- event processing processes -----------------------------------------
     params = default_traffic_params()
@@ -140,29 +140,21 @@ def build_paper_topology(
         engines[region] = engine
         rtec_processors[region] = RtecProcessor(engine)
         # Region merge: buses + this region's SCATS into one queue.
-        topology.add_process(
-            Process(
-                f"scats-intake-{region}",
-                input=f"scats-{region}",
-                processors=[_FeedTrafficModel()],
-                output=f"region-{region}",
-            )
-        )
-        topology.add_process(
-            Process(
-                f"bus-intake-{region}",
-                input="buses",
-                processors=[_RegionFilter(region, region_index)],
-                output=f"region-{region}",
-            )
-        )
-        topology.add_process(
-            Process(
-                f"cep-{region}",
-                input=f"region-{region}",
-                processors=[rtec_processors[region]],
-                output="complex-events",
-            )
+        topology.process(
+            f"scats-intake-{region}",
+            input=f"scats-{region}",
+            processors=[_FeedTrafficModel()],
+            output=f"region-{region}",
+        ).process(
+            f"bus-intake-{region}",
+            input="buses",
+            processors=[_RegionFilter(region, region_index)],
+            output=f"region-{region}",
+        ).process(
+            f"cep-{region}",
+            input=f"region-{region}",
+            processors=[rtec_processors[region]],
+            output="complex-events",
         )
 
     # --- crowdsourcing processes ---------------------------------------------
@@ -188,27 +180,23 @@ def build_paper_topology(
             scenario.node_of[int_id], t
         )
 
-    topology.add_process(
-        Process(
-            "crowdsourcing",
-            input="complex-events",
-            processors=[
-                CrowdsourcingProcessor(
-                    crowd,
-                    locate=scenario.topology.location,
-                    truth_lookup=_truth,
-                )
-            ],
-            output="crowd-answers",
-        )
+    topology.process(
+        "crowdsourcing",
+        input="complex-events",
+        processors=[
+            CrowdsourcingProcessor(
+                crowd,
+                locate=scenario.topology.location,
+                truth_lookup=_truth,
+            )
+        ],
+        output="crowd-answers",
     )
     for region in REGIONS:
-        topology.add_process(
-            Process(
-                f"feedback-{region}",
-                input="crowd-answers",
-                processors=[FluentFeedbackProcessor(engines[region])],
-            )
+        topology.process(
+            f"feedback-{region}",
+            input="crowd-answers",
+            processors=[FluentFeedbackProcessor(engines[region])],
         )
 
     return PaperTopology(

@@ -18,6 +18,7 @@ from typing import Optional
 import networkx as nx
 import numpy as np
 
+from ..obs import Registry
 from .gp import GraphGP
 from .kernels import graph_kernel
 
@@ -40,6 +41,10 @@ class RollingFlowEstimator:
         GP configuration (see :mod:`repro.traffic_model.kernels`).
     staleness_s:
         Readings older than this are dropped at estimation time.
+    metrics:
+        Optional :class:`repro.obs.Registry`; when given, the estimator
+        counts readings (``flow.observations``) and publishes a
+        ``flow.refits`` gauge after every re-fit.
     """
 
     def __init__(
@@ -50,6 +55,7 @@ class RollingFlowEstimator:
         beta: float = 0.05,
         noise: float = 20.0,
         staleness_s: int = 1800,
+        metrics: Optional[Registry] = None,
     ):
         if graph.number_of_nodes() == 0:
             raise ValueError("graph must have at least one node")
@@ -62,6 +68,7 @@ class RollingFlowEstimator:
         self._kernel = graph_kernel(graph, alpha, beta, nodes=self.nodes)
         self._noise = noise
         self._readings: dict = {}
+        self.metrics = metrics
         #: Number of GP refits performed (observability for operators).
         self.refits = 0
 
@@ -73,6 +80,8 @@ class RollingFlowEstimator:
         current = self._readings.get(node)
         if current is None or time >= current.time:
             self._readings[node] = _Reading(float(value), time)
+        if self.metrics is not None:
+            self.metrics.counter("flow.observations").inc()
 
     def observe_many(self, readings: Mapping, time: int) -> None:
         """Ingest a batch of readings taken at the same time."""
@@ -105,5 +114,7 @@ class RollingFlowEstimator:
         idx = [self._index[n] for n in observations]
         gp.fit(idx, list(observations.values()))
         self.refits += 1
+        if self.metrics is not None:
+            self.metrics.gauge("flow.refits").set(self.refits)
         prediction = gp.predict(np.arange(len(self.nodes)))
         return dict(zip(self.nodes, prediction.mean.tolist()))

@@ -1,0 +1,53 @@
+"""Benchmark smoke: run the Figure 6 measurement at tiny scale in tier-1.
+
+The full benchmarks live under ``benchmarks/`` and are not collected by
+the default test run.  This smoke test imports the Figure 6 latency
+benchmark's measurement function and replays it on its (already tiny)
+scenario so a regression in the crowd engine or the scheduling path
+that feeds it fails the ordinary test suite, not just a nightly bench.
+
+Select only these with ``pytest -m bench_smoke``.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        yield importlib.import_module("bench_fig6_query_latency")
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+
+
+@pytest.mark.bench_smoke
+def test_fig6_measurement_shape(fig6):
+    means = fig6._measure()
+    assert set(means) == set(fig6.CONNECTIONS)
+    for connection in fig6.CONNECTIONS:
+        # Engine-side trigger latency is small and connection-independent.
+        assert 30.0 <= means[connection]["trigger"] <= 60.0
+        # End-to-end engine latency stays under one second (paper headline).
+        assert sum(means[connection].values()) < 1000.0
+    # 2G is the slow outlier for network-bound steps.
+    assert means["2g"]["push"] > means["3g"]["push"]
+    assert means["2g"]["communication"] > means["wifi"]["communication"]
+
+
+@pytest.mark.bench_smoke
+def test_fig6_tracks_paper_calibration(fig6):
+    means = fig6._measure()
+    for connection in fig6.CONNECTIONS:
+        assert means[connection]["push"] == pytest.approx(
+            fig6.PAPER_PUSH[connection], rel=0.2
+        )
+        assert means[connection]["communication"] == pytest.approx(
+            fig6.PAPER_COMM[connection], rel=0.2
+        )

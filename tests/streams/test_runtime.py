@@ -116,6 +116,118 @@ class TestTopologyConstruction:
         assert "q" in topo.queues
 
 
+class TestFluentBuilder:
+    def test_chained_construction(self):
+        sink = Collect()
+        topo = (
+            Topology()
+            .source("s", _items([1, 2, 3]))
+            .process(
+                "keep-even",
+                input="s",
+                processors=[Filter(lambda i: i["v"] % 2 == 0)],
+                output="evens",
+            )
+            .process("sink", input="evens", processors=[sink])
+        )
+        StreamRuntime(topo).run()
+        assert [i["v"] for i in sink.items] == [2]
+
+    def test_builder_and_add_methods_interoperate(self):
+        topo = Topology().source("s", _items([1]))
+        topo.add_process(Process("p", input="s", processors=[Collect()]))
+        topo.queue("side").service("svc", object())
+        topo.validate()
+        assert "side" in topo.queues
+        assert "svc" in topo.services
+
+    def test_source_accepts_instance(self):
+        topo = Topology().source(Source("named", _items([1])))
+        assert "named" in topo.sources
+
+    def test_process_accepts_instance(self):
+        process = Process("p", input="s", processors=[Collect()])
+        topo = Topology().source("s", _items([1])).process(process)
+        assert topo.processes["p"] is process
+
+    def test_process_requires_wiring_kwargs(self):
+        with pytest.raises(TypeError, match="input"):
+            Topology().process("p")
+
+
+class TestConsumerIndex:
+    def test_validate_builds_index(self):
+        topo = Topology()
+        topo.add_source(Source("s", _items([1])))
+        p1 = Process("a", input="s", processors=[Collect()])
+        p2 = Process("b", input="s", processors=[Collect()])
+        topo.add_process(p1)
+        topo.add_process(p2)
+        topo.validate()
+        assert topo.consumers_of("s") == [p1, p2]
+        assert topo.consumers_of("nothing-consumes-this") == []
+
+    def test_index_rebuilt_after_graph_change(self):
+        topo = Topology()
+        topo.add_source(Source("s", _items([1])))
+        topo.validate()
+        assert topo.consumers_of("s") == []
+        late = Process("late", input="s", processors=[Collect()])
+        topo.add_process(late)
+        # add_process invalidates; the next lookup rebuilds.
+        assert topo.consumers_of("s") == [late]
+
+    def test_lookup_without_validate_builds_lazily(self):
+        topo = Topology()
+        topo.add_source(Source("s", _items([1])))
+        p = Process("p", input="s", processors=[Collect()])
+        topo.add_process(p)
+        assert topo.consumers_of("s") == [p]
+
+
+class TestQueueSourceShadowing:
+    """A process output named like a source must be rejected: both
+    would resolve to the same consumer list, silently treating queue
+    items as source items."""
+
+    def test_validate_rejects_output_shadowing_source(self):
+        topo = Topology()
+        topo.add_source(Source("readings", _items([1])))
+        topo.add_process(
+            Process(
+                "p", input="readings", processors=[Collect()],
+                output="readings",
+            )
+        )
+        with pytest.raises(ValueError, match="shadow"):
+            topo.validate()
+
+    def test_validate_rejects_source_added_after_process(self):
+        topo = Topology()
+        topo.add_process(
+            Process("p", input="x", processors=[Collect()], output="late")
+        )
+        topo.add_source(Source("x", _items([1])))
+        topo.add_source(Source("late", _items([1])))
+        with pytest.raises(ValueError, match="shadow"):
+            topo.validate()
+
+    def test_add_queue_rejects_known_source_name(self):
+        topo = Topology()
+        topo.add_source(Source("s", _items([1])))
+        with pytest.raises(ValueError, match="shadow"):
+            topo.add_queue("s")
+
+    def test_runtime_refuses_to_run_shadowed_graph(self):
+        topo = Topology()
+        topo.add_source(Source("s", _items([1])))
+        topo.add_process(
+            Process("p", input="s", processors=[Collect()], output="s")
+        )
+        with pytest.raises(ValueError, match="shadow"):
+            StreamRuntime(topo).run()
+
+
 class TestRuntime:
     def test_linear_pipeline(self):
         topo = Topology()

@@ -72,6 +72,43 @@ class TestRun:
         assert "low" in capsys.readouterr().out
 
 
+class TestMetrics:
+    def test_prints_sections(self, capsys):
+        code = main(["metrics", *SMALL, "--participants", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-process throughput:" in out
+        assert "rtec per-definition timings" in out
+        assert "crowd.disagreements" in out
+        assert "process.cep-" in out
+
+    def test_json_export(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["metrics", *SMALL, "--participants", "10", "--json", str(path)]
+        )
+        assert code == 0
+        parsed = json.loads(path.read_text())
+        assert set(parsed) == {"counters", "gauges", "timings"}
+        assert any(
+            k.startswith("rtec.definition.") for k in parsed["timings"]
+        )
+
+    def test_streams_flag_adds_middleware_metrics(self, capsys):
+        code = main(
+            ["metrics", *SMALL, "--participants", "10", "--streams"]
+        )
+        assert code == 0
+        assert "streams.process." in capsys.readouterr().out
+
+    def test_run_accepts_parallel_flag(self, capsys):
+        code = main(["run", *SMALL, "--participants", "10", "--parallel"])
+        assert code == 0
+        assert "operator console summary" in capsys.readouterr().out
+
+
 class TestMap:
     def test_prints_map(self, capsys):
         code = main(["map", *SMALL, "--at", "600"])

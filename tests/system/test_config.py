@@ -1,0 +1,70 @@
+"""Tests for the unified SystemConfig construction/validation API."""
+
+import pytest
+
+from repro.system import SystemConfig
+
+
+class TestFromMapping:
+    def test_builds_equivalent_config(self):
+        mapping = {
+            "window": 900,
+            "step": 300,
+            "adaptive": False,
+            "n_participants": 10,
+            "seed": 4,
+        }
+        assert SystemConfig.from_mapping(mapping) == SystemConfig(**mapping)
+
+    def test_rejects_unknown_keys_with_hint(self):
+        with pytest.raises(ValueError, match="unknown SystemConfig key"):
+            SystemConfig.from_mapping({"windw": 600})
+        with pytest.raises(ValueError, match="did you mean 'window'"):
+            SystemConfig.from_mapping({"windw": 600})
+
+    def test_rejects_several_unknown_keys(self):
+        with pytest.raises(ValueError, match="'bogus'"):
+            SystemConfig.from_mapping({"bogus": 1, "window": 2})
+
+    def test_coerces_list_to_tuple(self):
+        cfg = SystemConfig.from_mapping(
+            {"participant_error_range": [0.1, 0.4]}
+        )
+        assert cfg.participant_error_range == (0.1, 0.4)
+
+    def test_empty_mapping_is_defaults(self):
+        assert SystemConfig.from_mapping({}) == SystemConfig()
+
+
+class TestValidation:
+    def test_step_exceeding_window(self):
+        with pytest.raises(ValueError, match="step must not exceed"):
+            SystemConfig(window=100, step=500)
+
+    def test_nonpositive_window(self):
+        with pytest.raises(ValueError, match="positive"):
+            SystemConfig(window=0, step=0)
+
+    def test_bad_noisy_variant(self):
+        with pytest.raises(ValueError, match="noisy_variant"):
+            SystemConfig(noisy_variant="optimistic")
+
+    def test_bad_parallel_backend(self):
+        with pytest.raises(ValueError, match="parallel_backend"):
+            SystemConfig(parallel_backend="greenlet")
+
+    def test_bad_error_range(self):
+        with pytest.raises(ValueError, match="participant_error_range"):
+            SystemConfig(participant_error_range=(0.9, 0.1))
+
+    def test_negative_participants(self):
+        with pytest.raises(ValueError, match="n_participants"):
+            SystemConfig(n_participants=-1)
+
+    def test_bad_parallel_workers(self):
+        with pytest.raises(ValueError, match="parallel_workers"):
+            SystemConfig(parallel_workers=0)
+
+    def test_validation_applies_through_from_mapping(self):
+        with pytest.raises(ValueError, match="step must not exceed"):
+            SystemConfig.from_mapping({"window": 100, "step": 500})

@@ -1,0 +1,103 @@
+"""Parallel per-region recognition must match the sequential path.
+
+Section 7.1 scales recognition by running the four city regions in
+parallel; the contract of ``SystemConfig.parallel_regions`` is that the
+parallel schedule is *observationally identical* — same recognised CEs,
+same operator alerts, same crowd interactions — because results are
+merged deterministically in region order.
+"""
+
+import pytest
+
+from repro.dublin import DublinScenario, ScenarioConfig
+from repro.system import SystemConfig, UrbanTrafficSystem
+
+
+def _scenario():
+    return DublinScenario(
+        ScenarioConfig(
+            seed=11,
+            rows=10,
+            cols=10,
+            n_intersections=24,
+            n_buses=24,
+            n_lines=4,
+            unreliable_fraction=0.2,
+            n_incidents=4,
+            incident_window=(0, 1200),
+        )
+    )
+
+
+def _run(**overrides):
+    config = SystemConfig.from_mapping(
+        {"seed": 11, "n_participants": 20, **overrides}
+    )
+    system = UrbanTrafficSystem(_scenario(), config)
+    return system, system.run(0, 1200)
+
+
+def _occurrence_sets(report):
+    """``region -> {(ce name, key, time)}`` across all snapshots."""
+    out = {}
+    for region, log in report.logs.items():
+        seen = set()
+        for snapshot in log.snapshots:
+            for name, occurrences in snapshot.occurrences.items():
+                for occ in occurrences:
+                    seen.add((name, occ.key, occ.time))
+        out[region] = seen
+    return out
+
+
+def _alert_tuples(report):
+    return [
+        (a.time, a.kind, a.location, a.message, a.region)
+        for a in report.console.alerts
+    ]
+
+
+class TestParallelParity:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        _, sequential = _run(parallel_regions=False)
+        _, parallel = _run(parallel_regions=True)
+        return sequential, parallel
+
+    def test_ce_occurrences_identical(self, runs):
+        sequential, parallel = runs
+        assert _occurrence_sets(sequential) == _occurrence_sets(parallel)
+
+    def test_alerts_identical(self, runs):
+        sequential, parallel = runs
+        assert _alert_tuples(sequential) == _alert_tuples(parallel)
+
+    def test_crowd_handling_identical(self, runs):
+        sequential, parallel = runs
+        assert sequential.crowd_resolutions == parallel.crowd_resolutions
+        assert sequential.crowd_unresolved == parallel.crowd_unresolved
+        assert sequential.crowd_suppressed == parallel.crowd_suppressed
+
+    def test_flow_estimates_identical(self, runs):
+        sequential, parallel = runs
+        assert sequential.flow_estimates == parallel.flow_estimates
+
+    def test_process_backend_matches_too(self, runs):
+        sequential, _ = runs
+        _, process_run = _run(
+            parallel_regions=True, parallel_backend="process"
+        )
+        assert _occurrence_sets(sequential) == _occurrence_sets(process_run)
+        assert _alert_tuples(sequential) == _alert_tuples(process_run)
+
+    def test_single_region_skips_executor(self):
+        _, report = _run(parallel_regions=True, distribute_by_region=False)
+        assert set(report.logs) == {"city"}
+
+    def test_metrics_populated(self, runs):
+        _, parallel = runs
+        counters = parallel.metrics["counters"]
+        timings = parallel.metrics["timings"]
+        assert any(k.startswith("process.cep-") for k in counters)
+        assert any(k.startswith("rtec.definition.") for k in timings)
+        assert counters["crowd.disagreements"] >= 0
