@@ -8,6 +8,7 @@ Subcommands mirror the library's main entry points::
     repro-traffic metrics   --duration 1800   # runtime metrics report
     repro-traffic map       --at 900          # GP city flow map
     repro-traffic crowd     --queries 500     # online EM demo
+    repro-traffic faults                      # list fault profiles
 
 Every command is deterministic given ``--seed``.  Also runnable as
 ``python -m repro.cli``.
@@ -146,6 +147,8 @@ def _system_config_from(args: argparse.Namespace) -> SystemConfig:
     }
     if getattr(args, "parallel", False):
         mapping["parallel_regions"] = True
+    if getattr(args, "faults", None):
+        mapping["fault_profile"] = args.faults
     return SystemConfig.from_mapping(mapping)
 
 
@@ -162,6 +165,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{report.crowd_unresolved} unresolved; mean recognition "
         f"{report.mean_recognition_time * 1000:.1f} ms/query"
     )
+    if report.degraded:
+        print()
+        print("degraded intervals:")
+        for line in report.degraded_timeline():
+            print(f"  {line}")
     if args.map:
         print()
         print(system.render_city_map(args.duration))
@@ -270,6 +278,72 @@ def _cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import json
+
+    from .faults import PROFILES, get_profile
+
+    if args.show:
+        print(json.dumps(get_profile(args.show).to_dict(), indent=2))
+        return 0
+    if args.dlq_demo:
+        return _faults_dlq_demo(args.seed)
+    print(f"{'profile':<22}description")
+    for name in sorted(PROFILES):
+        print(f"{name:<22}{PROFILES[name].description}")
+    return 0
+
+
+def _faults_dlq_demo(seed: int) -> int:
+    """Run a tiny supervised topology over a corrupted stream and dump
+    the resulting dead-letter queue — a smoke demo of the supervision
+    layer's skip policy."""
+    import json
+
+    from .faults import FaultInjector, StreamFaults
+    from .streams import (
+        ErrorPolicy,
+        Process,
+        Source,
+        StreamRuntime,
+        Supervisor,
+        Topology,
+        Transform,
+    )
+
+    items = [
+        {"@time": t, "intersection": f"I{t % 3}", "flow": 40 + t}
+        for t in range(20)
+    ]
+    injector = FaultInjector(
+        StreamFaults(corrupt_rate=0.4, corrupt_fields=("flow",)),
+        seed=seed,
+    )
+
+    def strict(item):
+        if item["flow"] == 0:
+            raise ValueError(f"stuck-at-zero flow at t={item['@time']}")
+        return item
+
+    topology = Topology()
+    topology.add_source(Source("scats", injector.items(items)))
+    topology.add_process(
+        Process(
+            "validate", "scats", [Transform(strict)], output="clean",
+            policy=ErrorPolicy(mode="skip"),
+        )
+    )
+    supervisor = Supervisor()
+    StreamRuntime(topology, supervisor=supervisor).run()
+    letters = [letter.to_dict() for letter in supervisor.dead_letters]
+    print(json.dumps(letters, indent=2))
+    print(
+        f"{len(letters)} corrupted item(s) dead-lettered, "
+        f"{20 - len(letters)} passed through",
+    )
+    return 0
+
+
 def _cmd_crowd(args: argparse.Namespace) -> int:
     import random
 
@@ -372,6 +446,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--parallel", action="store_true",
         help="fan per-region recognition out over a thread pool",
     )
+    run.add_argument(
+        "--faults", default=None, metavar="PROFILE",
+        help="inject a named fault profile (see 'faults' subcommand)",
+    )
     run.set_defaults(fn=_cmd_run)
 
     metrics = subparsers.add_parser(
@@ -401,6 +479,10 @@ def build_parser() -> argparse.ArgumentParser:
         "per-process middleware throughput",
     )
     metrics.add_argument(
+        "--faults", default=None, metavar="PROFILE",
+        help="inject a named fault profile (see 'faults' subcommand)",
+    )
+    metrics.add_argument(
         "--json", default=None, metavar="PATH",
         help="write the full registry export as JSON",
     )
@@ -424,6 +506,23 @@ def build_parser() -> argparse.ArgumentParser:
     crowd.add_argument("--seed", type=int, default=42)
     crowd.add_argument("--queries", type=int, default=500)
     crowd.set_defaults(fn=_cmd_crowd)
+
+    faults = subparsers.add_parser(
+        "faults",
+        help="list fault profiles, show one as JSON, or run the "
+        "dead-letter-queue demo",
+    )
+    faults.add_argument(
+        "--show", default=None, metavar="PROFILE",
+        help="dump one profile's full spec as JSON",
+    )
+    faults.add_argument(
+        "--dlq-demo", action="store_true",
+        help="run a supervised mini-topology over a corrupted stream "
+        "and dump the dead-letter queue",
+    )
+    faults.add_argument("--seed", type=int, default=0)
+    faults.set_defaults(fn=_cmd_faults)
 
     return parser
 

@@ -173,12 +173,27 @@ class RTEC:
         Inputs may be fed in any order; the engine sorts by occurrence
         time before each query and honours arrival times when selecting
         the window contents.
+
+        SDEs with a negative occurrence time are rejected: the scenario
+        clock starts at 0, so a negative stamp is always a mediator bug
+        (or an injected corruption) and silently accepting it would
+        seed windows before time 0.
         """
         appended = False
         for ev in events:
+            if ev.time < 0:
+                raise ValueError(
+                    f"event of type {ev.type!r} occurs at negative time "
+                    f"{ev.time}; SDE timestamps must be >= 0"
+                )
             self._events.append(ev)
             appended = True
         for fact in facts:
+            if fact.time < 0:
+                raise ValueError(
+                    f"fluent fact {fact.name!r} occurs at negative time "
+                    f"{fact.time}; SDE timestamps must be >= 0"
+                )
             self._facts.append(fact)
             appended = True
         if appended:

@@ -29,6 +29,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..faults.spec import CrowdFaults
 from ..obs import Registry
 from .latency import LatencyModel
 from .model import AnswerSet, DisagreementTask, Participant
@@ -56,6 +57,9 @@ class MapTaskExecution:
     think_ms: float
     communication_ms: float
     answer: Optional[str] = None
+    #: Injected fault that hit this task (``"no_response"`` /
+    #: ``"timeout"``), or ``None`` for a clean execution.
+    fault: Optional[str] = None
 
     @property
     def engine_ms(self) -> float:
@@ -117,6 +121,11 @@ class QueryExecutionEngine:
         Optional :class:`repro.obs.Registry`; when given, the engine
         counts queries/answers and records per-task engine latency
         under ``crowd.engine.*`` (see ``docs/observability.md``).
+    faults:
+        Optional :class:`repro.faults.CrowdFaults`; when given, map
+        tasks suffer deterministic worker non-response and
+        reply-window-timeout faults, counted under
+        ``crowd.engine.faults.*`` (see ``docs/robustness.md``).
     """
 
     def __init__(
@@ -125,10 +134,15 @@ class QueryExecutionEngine:
         policy: Optional[SelectionPolicy] = None,
         seed: int = 0,
         metrics: Optional[Registry] = None,
+        faults: Optional[CrowdFaults] = None,
     ):
         self.latency_model = latency_model or LatencyModel(seed=seed)
         self.policy = policy or AllParticipants()
         self.metrics = metrics
+        self.faults = faults if faults is not None and faults.active else None
+        # Fault draws come from their own stream so that enabling a
+        # profile never perturbs the answer simulation RNG directly.
+        self._fault_rng = random.Random(seed + 7919)
         self._rng = random.Random(seed)
         self._devices: dict[str, Participant] = {}
         self._online: dict[str, bool] = {}
@@ -275,8 +289,34 @@ class QueryExecutionEngine:
             think_ms=think,
             communication_ms=comm,
         )
+        if self.faults is not None:
+            # One draw per configured fault class per task, in a fixed
+            # order, so the fault pattern depends only on the seed and
+            # the task sequence — never on the faults' outcomes.
+            faults = self.faults
+            if (
+                faults.no_response_rate > 0.0
+                and self._fault_rng.random() < faults.no_response_rate
+            ):
+                execution.fault = "no_response"
+            if (
+                faults.timeout_rate > 0.0
+                and self._fault_rng.random() < faults.timeout_rate
+                and execution.fault is None
+            ):
+                execution.fault = "timeout"
+                execution.think_ms += faults.extra_think_ms
+            if execution.fault is not None and self.metrics is not None:
+                self.metrics.counter(
+                    f"crowd.engine.faults.{execution.fault}"
+                ).inc()
         # The worker answers only if the task round trip fits in the
-        # reply window (after which the server stops waiting).
-        if execution.total_ms <= query.reply_window_ms:
+        # reply window (after which the server stops waiting).  A
+        # non-responding worker never answers; a timed-out worker's
+        # inflated think time pushes it past the window.
+        if (
+            execution.fault != "no_response"
+            and execution.total_ms <= query.reply_window_ms
+        ):
             execution.answer = participant.answer(query.task, self._rng)
         return execution

@@ -1,0 +1,30 @@
+"""Deterministic fault injection for the urban-traffic pipeline.
+
+The reproduction's chaos layer: seed-driven drop / delay / duplicate /
+corruption faults on the SDE feeds, worker non-response faults in the
+crowdsourcing engine, and named profiles binding them together.  See
+``docs/robustness.md`` for the operator guide.
+"""
+
+from .profiles import BOUNDED_DELAY_S, PROFILES, get_profile, list_profiles
+from .spec import (
+    CrowdFaults,
+    FaultInjector,
+    FaultProfile,
+    StreamFaults,
+    faulty_source,
+    inject_scenario,
+)
+
+__all__ = [
+    "StreamFaults",
+    "CrowdFaults",
+    "FaultProfile",
+    "FaultInjector",
+    "faulty_source",
+    "inject_scenario",
+    "PROFILES",
+    "BOUNDED_DELAY_S",
+    "get_profile",
+    "list_profiles",
+]

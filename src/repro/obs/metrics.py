@@ -165,6 +165,20 @@ class Registry:
         """Counter values by name (a copy)."""
         return {name: c.value for name, c in sorted(self._counters.items())}
 
+    def counters_with_prefix(self, prefix: str) -> dict[str, int]:
+        """Counter values whose name starts with ``prefix`` (a copy).
+
+        The conventional view over one subsystem's namespace — e.g.
+        ``counters_with_prefix("faults.")`` for everything the fault
+        injectors did, or ``counters_with_prefix("streams.breaker.")``
+        for breaker activity.
+        """
+        return {
+            name: c.value
+            for name, c in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
     def gauges(self) -> dict[str, float]:
         """Gauge values by name (a copy)."""
         return {name: g.value for name, g in sorted(self._gauges.items())}

@@ -37,6 +37,14 @@ from .processors import (
 )
 from .runtime import RunStats, StreamRuntime, Topology
 from .services import ServiceRegistry
+from .supervision import (
+    CircuitBreaker,
+    DeadLetter,
+    DeadLetterQueue,
+    ErrorPolicy,
+    ProcessorTimeout,
+    Supervisor,
+)
 from .xmlconfig import XmlConfigError, coerce_attribute, parse_topology
 
 __all__ = [
@@ -71,6 +79,12 @@ __all__ = [
     "Topology",
     "StreamRuntime",
     "RunStats",
+    "ErrorPolicy",
+    "ProcessorTimeout",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "CircuitBreaker",
+    "Supervisor",
     "parse_topology",
     "coerce_attribute",
     "XmlConfigError",

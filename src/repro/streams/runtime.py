@@ -30,6 +30,7 @@ from .items import DataItem, item_arrival
 from .processes import Process, Queue, Source
 from .processors import Processor, ProcessorContext, normalise_result
 from .services import ServiceRegistry
+from .supervision import ProcessorTimeout, Supervisor
 
 
 @dataclass
@@ -206,13 +207,27 @@ class StreamRuntime:
         records per-process item counters, chain timings and an
         ``items_per_s`` throughput gauge under ``streams.process.<name>.*``
         (see ``docs/observability.md``).
+    supervisor:
+        Optional :class:`~repro.streams.supervision.Supervisor`; when
+        given, processor-chain failures are handled by per-process
+        error policies (retry / skip / fail), poisoned items land in
+        the supervisor's dead-letter queue, and a circuit breaker per
+        input short-circuits traffic after repeated failures (see
+        ``docs/robustness.md``).  Without one, any chain exception
+        propagates — the historical behaviour.
     """
 
     def __init__(
-        self, topology: Topology, metrics: Optional[Registry] = None
+        self,
+        topology: Topology,
+        metrics: Optional[Registry] = None,
+        supervisor: Optional[Supervisor] = None,
     ):
         self.topology = topology
         self.metrics = metrics
+        self.supervisor = supervisor
+        if supervisor is not None and supervisor.metrics is None:
+            supervisor.metrics = metrics
         self._contexts: dict[str, ProcessorContext] = {}
         #: Arrival time of the item currently being processed.
         self.now: Optional[int] = None
@@ -265,13 +280,21 @@ class StreamRuntime:
             consumers = topo.consumers_of(input_name)
             if not consumers:
                 continue
+            supervisor = self.supervisor
             for item in batch:
+                if supervisor is not None and not supervisor.breaker_for(
+                    input_name
+                ).allow(arrival):
+                    supervisor.short_circuit(input_name, item, arrival)
+                    continue
                 # Queue items were already retained at emission time;
                 # here they are only forwarded to consuming processes.
                 for process in consumers:
                     if timed:
                         t0 = perf_counter()
-                    for out_item in self._run_chain(process, dict(item)):
+                    for out_item in self._dispatch(
+                        process, item, input_name, arrival
+                    ):
                         stats.items_delivered += 1
                         if process.output is not None:
                             topo.queues[process.output].put(dict(out_item))
@@ -301,6 +324,8 @@ class StreamRuntime:
                 processor.finish()
             stats.record_process(process)
         topo.services.stop_all()
+        if self.supervisor is not None:
+            self.supervisor.record_breaker_states()
         if self.metrics is not None:
             self._record_metrics(stats, chain_seconds)
         return stats
@@ -330,6 +355,14 @@ class StreamRuntime:
     ) -> Iterable[DataItem]:
         """Push one item through a process's processor chain."""
         process.consumed += 1
+        batch = self._apply_chain(process, item)
+        process.produced += len(batch)
+        return batch
+
+    def _apply_chain(
+        self, process: Process, item: DataItem
+    ) -> list[DataItem]:
+        """The raw chain application, without counter bookkeeping."""
         batch = [item]
         for processor in process.processors:
             next_batch: list[DataItem] = []
@@ -338,5 +371,68 @@ class StreamRuntime:
             batch = next_batch
             if not batch:
                 break
-        process.produced += len(batch)
         return batch
+
+    def _dispatch(
+        self,
+        process: Process,
+        item: DataItem,
+        input_name: str,
+        arrival: int,
+    ) -> Iterable[DataItem]:
+        """Run one item through one process under supervision.
+
+        Without a supervisor this is exactly :meth:`_run_chain`.  With
+        one, chain failures (including soft-timeout overruns) go
+        through the process's error policy: ``fail`` propagates,
+        ``retry`` re-runs the chain with accounted backoff, and
+        exhausted/skipped items are dead-lettered and reported to the
+        input's circuit breaker.  A failed attempt's explicit queue
+        emissions are discarded so half-processed items never leak
+        downstream.
+        """
+        supervisor = self.supervisor
+        if supervisor is None:
+            return self._run_chain(process, dict(item))
+        policy = supervisor.policy_for(process)
+        context = self._contexts[process.name]
+        process.consumed += 1
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                t0 = perf_counter()
+                batch = self._apply_chain(process, dict(item))
+                elapsed = perf_counter() - t0
+                if (
+                    policy.timeout_s is not None
+                    and elapsed > policy.timeout_s
+                ):
+                    raise ProcessorTimeout(
+                        f"process {process.name!r} spent {elapsed:.4f}s on "
+                        f"one item (budget {policy.timeout_s}s)"
+                    )
+            except Exception as exc:
+                context.drain_emissions()  # discard partial emissions
+                supervisor.chain_failed(
+                    exc, timeout=isinstance(exc, ProcessorTimeout)
+                )
+                if policy.mode == "fail":
+                    raise
+                if policy.mode == "retry" and attempts <= policy.max_retries:
+                    supervisor.account_backoff(policy.backoff_s(attempts))
+                    continue
+                supervisor.dead_letter(
+                    process=process.name,
+                    input_name=input_name,
+                    item=item,
+                    error=exc,
+                    attempts=attempts,
+                    arrival=arrival,
+                )
+                supervisor.breaker_failure(input_name, arrival)
+                return []
+            else:
+                supervisor.breaker_success(input_name, arrival)
+                process.produced += len(batch)
+                return batch

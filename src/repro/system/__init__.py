@@ -1,6 +1,7 @@
 """The integrated system: pipeline, console and Streams embeddings."""
 
 from .console import Alert, OperatorConsole
+from .degradation import DegradationManager, describe_timeline
 from .pipeline import SystemConfig, SystemReport, UrbanTrafficSystem
 from .processors import (
     CrowdsourcingProcessor,
@@ -16,6 +17,8 @@ __all__ = [
     "SystemConfig",
     "SystemReport",
     "UrbanTrafficSystem",
+    "DegradationManager",
+    "describe_timeline",
     "RtecProcessor",
     "CrowdsourcingProcessor",
     "FluentFeedbackProcessor",

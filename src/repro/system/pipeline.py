@@ -16,6 +16,7 @@ Wires all four components into the closed loop the paper describes:
 
 from __future__ import annotations
 
+import bisect
 import difflib
 import pickle
 import random
@@ -29,8 +30,13 @@ from typing import Literal, Mapping, Optional
 
 from ..core.events import Event
 from ..core.rtec import RTEC, RecognitionLog, RecognitionSnapshot
+from ..faults import FaultProfile, get_profile, inject_scenario
 from ..obs import Registry
-from ..core.traffic import build_traffic_definitions, default_traffic_params
+from ..core.traffic import (
+    build_traffic_definitions,
+    default_traffic_params,
+    feeds_of_definition,
+)
 from ..crowd import (
     CrowdsourcingComponent,
     LocationPolicy,
@@ -50,6 +56,7 @@ from ..traffic_model import (
     write_city_svg,
 )
 from .console import OperatorConsole
+from .degradation import DegradationManager, describe_timeline
 
 
 @dataclass(frozen=True)
@@ -116,6 +123,14 @@ class SystemConfig:
     #: (useful for substrate debugging).
     use_measured_flows: bool = True
     flow_staleness_s: int = 1800
+    #: Named fault profile (see :mod:`repro.faults.profiles`) injected
+    #: into the generated SDE streams and the crowd engine; ``None``
+    #: (or ``"none"``) runs fault-free.  The profile's RNG seed is
+    #: offset by :attr:`seed`, so chaos runs are exactly reproducible.
+    fault_profile: Optional[str] = None
+    #: Consecutive silent recognition steps before a feed's breaker
+    #: opens and the system degrades to the surviving feed's CEs.
+    feed_outage_steps: int = 2
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -150,6 +165,12 @@ class SystemConfig:
             raise ValueError(
                 "crowd_cooldown_s must be >= 0 and prior_window > 0"
             )
+        if self.feed_outage_steps < 1:
+            raise ValueError("feed_outage_steps must be at least 1")
+        if self.fault_profile is not None:
+            # Fail fast on unknown profile names (with the same
+            # closest-match hint get_profile gives everywhere else).
+            get_profile(self.fault_profile)
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[str, object]) -> "SystemConfig":
@@ -199,6 +220,14 @@ class SystemReport:
     #: per-region throughput, per-definition RTEC timings, crowd query
     #: counters, flow-estimator gauges.  See ``docs/observability.md``.
     metrics: dict = field(default_factory=dict)
+    #: Degraded-mode intervals per feed: ``{"scats": [(start, end)]}``
+    #: with ``end=None`` for an outage still open at the end of the
+    #: run.  Empty when every feed stayed alive.
+    degraded: dict = field(default_factory=dict)
+
+    def degraded_timeline(self) -> list[str]:
+        """Human-readable outage timeline (one line per interval)."""
+        return describe_timeline(self.degraded)
 
     @property
     def mean_recognition_time(self) -> float:
@@ -258,6 +287,20 @@ class UrbanTrafficSystem:
         #: Runtime metrics shared by every component of this system;
         #: exported into :attr:`SystemReport.metrics` after each run.
         self.metrics = Registry()
+        #: Resolved fault profile, or ``None`` when the configured
+        #: profile injects nothing; re-seeded from the system seed so
+        #: the whole chaos run hangs off one number.
+        self.fault_profile: Optional[FaultProfile] = None
+        if cfg.fault_profile is not None:
+            profile = get_profile(cfg.fault_profile)
+            if profile.active:
+                self.fault_profile = profile.with_seed(
+                    profile.seed + cfg.seed
+                )
+        #: Feed-liveness breaker driving graceful degradation.
+        self.degradation = DegradationManager(
+            threshold=cfg.feed_outage_steps, metrics=self.metrics
+        )
 
         params = default_traffic_params()
         regions = list(REGIONS) if cfg.distribute_by_region else ["city"]
@@ -307,6 +350,11 @@ class UrbanTrafficSystem:
             policy=LocationPolicy(radius_m=cfg.participant_radius_m),
             seed=cfg.seed + 101,
             metrics=self.metrics,
+            faults=(
+                self.fault_profile.crowd
+                if self.fault_profile is not None
+                else None
+            ),
         )
         intersections = self.scenario.topology.ids()
         lo, hi = cfg.participant_error_range
@@ -360,6 +408,35 @@ class UrbanTrafficSystem:
             return None
         return bus_report_prior(sum(recent), len(recent))
 
+    @staticmethod
+    def _feed_arrivals(data) -> dict[str, list[int]]:
+        """Sorted SDE *arrival* times per feed — the liveness signal
+        the degradation breaker watches.  Arrival, not occurrence:
+        a delayed record keeps its feed alive only once it shows up."""
+        arrivals: dict[str, list[int]] = {"scats": [], "bus": []}
+        for event in data.events:
+            if event.type == "traffic":
+                arrivals["scats"].append(event.arrival)
+            elif event.type == "move":
+                arrivals["bus"].append(event.arrival)
+        for fact in data.facts:
+            if fact.name == "gps":
+                arrivals["bus"].append(fact.arrival)
+        for times in arrivals.values():
+            times.sort()
+        return arrivals
+
+    def _step_arrival_counts(
+        self, feed_arrivals: dict[str, list[int]], q: int
+    ) -> dict[str, int]:
+        """How many SDEs per feed arrived in the step ``(q-step, q]``."""
+        lo = q - self.config.step
+        return {
+            feed: bisect.bisect_right(times, q)
+            - bisect.bisect_right(times, lo)
+            for feed, times in feed_arrivals.items()
+        }
+
     def run(self, start: int, end: int) -> SystemReport:
         """Run the full loop over ``[start, end)`` and report.
 
@@ -374,7 +451,12 @@ class UrbanTrafficSystem:
         asserts this end to end).
         """
         data = self.scenario.generate(start, end)
+        if self.fault_profile is not None:
+            data = inject_scenario(
+                data, self.fault_profile, metrics=self.metrics
+            )
         self._index_inputs(data)
+        feed_arrivals = self._feed_arrivals(data)
         if self.config.distribute_by_region:
             split = self.scenario.split_by_region(data)
         else:
@@ -389,19 +471,23 @@ class UrbanTrafficSystem:
         try:
             q = start + self.config.step
             while q <= end:
+                degraded = self.degradation.observe(
+                    q, self._step_arrival_counts(feed_arrivals, q)
+                )
                 snapshots = self._query_regions(q, executor)
                 for region, snapshot in snapshots.items():
                     self._record_query_metrics(region, snapshot)
                     fresh = logs[region].add(snapshot)
-                    self._surface_alerts(region, fresh)
+                    self._surface_alerts(region, fresh, degraded)
                     self._handle_disagreements(
-                        region, q, snapshot, fresh, report
+                        region, q, snapshot, fresh, report, degraded
                     )
                 q += self.config.step
         finally:
             if executor is not None:
                 executor.shutdown()
 
+        report.degraded = self.degradation.finish()
         report.flow_estimates = self.estimate_citywide(end)
         if self.reward_ledger is not None and self.crowd is not None:
             report.rewards = self.reward_ledger.settle(
@@ -427,7 +513,12 @@ class UrbanTrafficSystem:
         if cfg.parallel_backend == "process":
             try:
                 pickle.dumps(self.engines)
-            except Exception:
+            except (TypeError, AttributeError, pickle.PicklingError):
+                # The three ways pickling engine state actually fails
+                # (lambdas/local classes, lost attributes, explicit
+                # refusals).  Anything else is a real bug and should
+                # surface, not silently degrade to threads.
+                self.metrics.counter("system.parallel.pickle_errors").inc()
                 self.metrics.gauge("system.parallel.pickle_fallback").set(1)
             else:
                 return ProcessPoolExecutor(max_workers=workers)
@@ -490,9 +581,28 @@ class UrbanTrafficSystem:
         )
 
     # ------------------------------------------------------------------
-    def _surface_alerts(self, region: str, fresh) -> None:
-        """Turn fresh CE episodes/occurrences into operator alerts."""
+    def _suppressed(self, name: str, degraded: frozenset[str]) -> bool:
+        """Whether a CE's alert is untrustworthy under the current
+        outages (it reads a degraded feed) — if so, count and drop."""
+        if degraded and any(
+            feed in degraded for feed in feeds_of_definition(name)
+        ):
+            self.metrics.counter("system.degraded.alerts_suppressed").inc()
+            return True
+        return False
+
+    def _surface_alerts(
+        self, region: str, fresh, degraded: frozenset[str] = frozenset()
+    ) -> None:
+        """Turn fresh CE episodes/occurrences into operator alerts.
+
+        Alerts derived from a degraded feed are suppressed: with SCATS
+        silent the sensor-side CEs are stale inertia, not news — only
+        the surviving feed's alerts keep flowing (graceful degradation).
+        """
         for name, key, start, _ in fresh.episodes:
+            if self._suppressed(name, degraded):
+                continue
             if name == "scatsIntCongestion":
                 self.console.notify(
                     start, "scats congestion", str(key[0]),
@@ -518,7 +628,9 @@ class UrbanTrafficSystem:
                     region,
                 )
         for occ in fresh.occurrences:
-            if occ.type == "congestionInTheMake":
+            if occ.type == "congestionInTheMake" and not self._suppressed(
+                occ.type, degraded
+            ):
                 self.console.notify(
                     occ.time, "congestion in-the-make",
                     f"({occ['lon']:.4f},{occ['lat']:.4f})",
@@ -536,7 +648,13 @@ class UrbanTrafficSystem:
         return len(buses)
 
     def _handle_disagreements(
-        self, region: str, q: int, snapshot, fresh, report: SystemReport
+        self,
+        region: str,
+        q: int,
+        snapshot,
+        fresh,
+        report: SystemReport,
+        degraded: frozenset[str] = frozenset(),
     ) -> None:
         """Crowdsource fresh source disagreements; feed answers back.
 
@@ -544,10 +662,21 @@ class UrbanTrafficSystem:
         component is invoked ... when a significant disagreement in the
         data sources is detected" (Section 5): an intersection is only
         queried when enough distinct buses disagreed and it was not
-        already queried within the cooldown.
+        already queried within the cooldown.  While either feed is
+        degraded a "disagreement" is an artifact of the outage, so the
+        crowd is not bothered at all.
         """
         cfg = self.config
         disagreements = fresh.episodes_of("sourceDisagreement")
+        if disagreements and degraded and any(
+            feed in degraded
+            for feed in feeds_of_definition("sourceDisagreement")
+        ):
+            report.crowd_suppressed += len(disagreements)
+            self.metrics.counter("system.degraded.crowd_suppressed").inc(
+                len(disagreements)
+            )
+            return
         for _, key, start, _ in disagreements:
             int_id = key[0]
             lon, lat = self.scenario.topology.location(int_id)

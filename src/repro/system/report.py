@@ -75,6 +75,19 @@ def render_html_report(
         else ""
     )
 
+    degraded_rows = "".join(
+        f"<tr><td>{html.escape(line)}</td></tr>"
+        for line in report.degraded_timeline()
+    )
+    degraded_section = (
+        "<h2>degraded intervals</h2>"
+        "<p>feeds whose breaker opened during the run; alerts derived "
+        "from a degraded feed were suppressed.</p>"
+        f"<table>{degraded_rows}</table>"
+        if degraded_rows
+        else ""
+    )
+
     return f"""<!DOCTYPE html>
 <html lang="en"><head><meta charset="utf-8">
 <title>urban traffic management — run report</title>
@@ -88,6 +101,7 @@ crowd disagreements resolved: {report.crowd_resolutions}
 {counts_table}
 <h2>alert feed (last {max_alerts})</h2>
 <pre>{feed}</pre>
+{degraded_section}
 {rewards_section}
 <h2>city map</h2>
 {svg}

@@ -50,6 +50,32 @@ class TestEngineValidation:
         with pytest.raises(ValueError, match="increasing"):
             eng.query(10)
 
+    def test_negative_event_time_rejected(self):
+        # A negative stamp is always a mediator bug (or an injected
+        # corruption); accepting it would seed windows before time 0.
+        eng = RTEC([_switch_fluent()], window=10, step=5)
+        with pytest.raises(ValueError, match="negative"):
+            eng.feed([Event("on", -5, {"id": "x"})])
+
+    def test_negative_fact_time_rejected(self):
+        from repro.core.events import FluentFact
+
+        eng = RTEC([_switch_fluent()], window=10, step=5)
+        with pytest.raises(ValueError, match="negative"):
+            eng.feed([], facts=[FluentFact("gps", ("b",), {"v": 1}, -1)])
+
+    def test_valid_events_before_the_bad_one_are_kept(self):
+        # feed() appends as it validates; the good prefix must still
+        # be queryable after the rejection.
+        eng = RTEC([_switch_fluent()], window=100, step=100)
+        with pytest.raises(ValueError, match="negative"):
+            eng.feed([
+                Event("on", 10, {"id": "x"}),
+                Event("on", -1, {"id": "y"}),
+            ])
+        snapshot = eng.query(100)
+        assert snapshot.holds_at("power", ("x",), 50)
+
 
 class TestSimpleFluentRecognition:
     def test_basic_episode(self):

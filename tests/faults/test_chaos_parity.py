@@ -1,0 +1,194 @@
+"""Chaos parity: bounded delay + window > step ⇒ identical recognition.
+
+The working memory's core guarantee (paper, Figure 2): with
+``window > step``, an SDE whose arrival is delayed by no more than
+``window - step`` (minus the rule's own time span) is still inside
+some window that covers its occurrence time, so once results settle
+the recognised CEs are **byte-identical** to the fault-free run.
+
+Parameters are chosen so the guarantee holds for every rule in the
+traffic suite: window 1200s, step 300s, injected delay ≤ 600s, and
+the widest rule span in the suite is 300s (``citm.window``), so
+``delay ≤ window - step - span`` for every definition.
+"""
+
+import json
+
+import pytest
+
+from repro.core import RTEC
+from repro.core.traffic import build_traffic_definitions, default_traffic_params
+from repro.faults import FaultInjector, StreamFaults, get_profile
+from tests.core.helpers import (
+    CONGESTED,
+    FREE,
+    bus_report,
+    make_topology,
+    traffic_event,
+)
+
+WINDOW = 1200
+STEP = 300
+MAX_DELAY = 600  # <= WINDOW - STEP - max rule span (300s)
+HORIZON = 7200
+
+
+def sde_stream():
+    """A deterministic stream with congestion spells on two feeds."""
+    events, facts = [], []
+    for t in range(30, HORIZON, 30):
+        # I1 congested during [1800, 3600); I2 always free.
+        readings = CONGESTED if 1800 <= t < 3600 else FREE
+        for sensor in ("S1", "S2"):
+            events.append(
+                traffic_event(t, intersection="I1", sensor=sensor, **readings)
+            )
+            events.append(
+                traffic_event(t, intersection="I2", sensor=sensor, **FREE)
+            )
+    for t in range(60, HORIZON, 60):
+        congested = 1 if 1800 <= t < 3600 else 0
+        for bus, delay in (("B1", 120), ("B2", 240)):
+            move, gps = bus_report(
+                t, bus=bus, congestion=congested,
+                delay=delay if congested else 0,
+            )
+            events.append(move)
+            facts.append(gps)
+    return events, facts
+
+
+def _merge(pieces):
+    """Merge clipped interval pieces back into maximal episodes."""
+    merged = []
+    for start, end in sorted(
+        pieces, key=lambda p: (p[0], p[1] is None, p[1])
+    ):
+        if merged and merged[-1][1] is not None and start <= merged[-1][1]:
+            last_start, last_end = merged[-1]
+            if end is None or end > last_end:
+                merged[-1] = (last_start, end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def settled_output(events, facts, *, window, step):
+    """Canonical *settled* recognition, serialised to bytes.
+
+    At query ``q`` the chunk ``(q - window, q - window + step]`` is
+    about to slide out of the working memory forever — and with
+    injected delay ≤ window - step every SDE of that chunk has arrived
+    by ``q``, so the engine's verdict about it is final.  The settled
+    output is the union of those expiring chunks (plus the last
+    query's whole window, by which time the stream is exhausted),
+    merged back into maximal episodes, together with the union of
+    recognised occurrences.  Transient verdicts about not-yet-settled
+    chunks — where a delayed SDE legitimately hasn't shown up yet —
+    are exactly what this construction excludes.
+    """
+    topology = make_topology(2)
+    engine = RTEC(
+        build_traffic_definitions(topology, adaptive=False),
+        window=window,
+        step=step,
+        params=default_traffic_params(),
+    )
+    engine.feed(events, facts)
+    occurrences = set()
+    pieces: dict = {}
+    last_q = ((HORIZON + window) // step) * step
+    q = step
+    while q <= last_q:
+        snapshot = engine.query(q)
+        for name, occs in snapshot.occurrences.items():
+            for occ in occs:
+                occurrences.add((name, occ.key, occ.time))
+        lo = q - window
+        hi = q if q == last_q else lo + step
+        for name, by_key in snapshot.fluents.items():
+            for key, intervals in by_key.items():
+                for start, end in intervals:
+                    piece_start = max(start, lo)
+                    if end is None:
+                        piece_end = None if q == last_q else hi
+                    else:
+                        piece_end = min(end, hi)
+                    if piece_end is not None and piece_start >= piece_end:
+                        continue
+                    pieces.setdefault((name, key), []).append(
+                        (piece_start, piece_end)
+                    )
+        q += step
+    episodes = {
+        repr(key): [repr(p) for p in _merge(chunked)]
+        for key, chunked in pieces.items()
+    }
+    return json.dumps(
+        {
+            "occurrences": sorted(map(repr, occurrences)),
+            "episodes": episodes,
+        },
+        sort_keys=True,
+    )
+
+
+def delay_everything(events, facts, max_delay, seed=13):
+    spec = StreamFaults(delay_rate=1.0, max_delay_s=max_delay)
+    shaken_events = FaultInjector(spec, seed=seed, feed="scats").events(
+        [e for e in events if e.type == "traffic"]
+    ) + FaultInjector(spec, seed=seed, feed="bus").events(
+        [e for e in events if e.type == "move"]
+    )
+    shaken_facts = FaultInjector(spec, seed=seed, feed="gps").facts(facts)
+    return shaken_events, shaken_facts
+
+
+@pytest.mark.chaos
+class TestChaosParity:
+    def test_clean_run_recognises_something(self):
+        events, facts = sde_stream()
+        settled = settled_output(events, facts, window=WINDOW, step=STEP)
+        assert "scatsCongestion" in settled
+        assert "delayIncrease" in settled
+
+    def test_bounded_delay_is_invisible_once_settled(self):
+        """Delay ≤ window - step - span ⇒ byte-identical recognition."""
+        events, facts = sde_stream()
+        clean = settled_output(events, facts, window=WINDOW, step=STEP)
+        shaken_events, shaken_facts = delay_everything(
+            events, facts, MAX_DELAY
+        )
+        # The injector genuinely delayed arrivals...
+        assert any(
+            s.arrival > c.arrival
+            for c, s in zip(
+                [e for e in events if e.type == "traffic"],
+                [e for e in shaken_events if e.type == "traffic"],
+            )
+        )
+        chaos = settled_output(
+            shaken_events, shaken_facts, window=WINDOW, step=STEP
+        )
+        assert chaos == clean
+
+    def test_parity_across_seeds(self):
+        """The guarantee is structural, not a lucky seed."""
+        events, facts = sde_stream()
+        clean = settled_output(events, facts, window=WINDOW, step=STEP)
+        for seed in (1, 2, 3):
+            shaken_events, shaken_facts = delay_everything(
+                events, facts, MAX_DELAY, seed=seed
+            )
+            assert (
+                settled_output(
+                    shaken_events, shaken_facts, window=WINDOW, step=STEP
+                )
+                == clean
+            )
+
+    def test_bounded_delay_profile_round_trip(self):
+        """The shipped ``bounded_delay`` profile honours the same bound."""
+        profile = get_profile("bounded_delay")
+        assert profile.scats.max_delay_s <= WINDOW - STEP - 300
+        assert profile.bus.max_delay_s <= WINDOW - STEP - 300

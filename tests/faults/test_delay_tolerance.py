@@ -1,0 +1,111 @@
+"""Figure 2: why the working memory overlaps (window > step).
+
+With ``window == step`` each SDE gets exactly one chance: the single
+query whose window covers its occurrence time.  If its arrival is
+delayed past that query it is never considered.  With
+``window > step`` later queries still cover the occurrence time, so a
+bounded delay only postpones recognition — it cannot lose it.  Both
+sides are driven by the same delay injector the fault profiles use.
+"""
+
+import pytest
+
+from repro.core import RTEC
+from repro.core.traffic import build_traffic_definitions, default_traffic_params
+from repro.faults import FaultInjector, StreamFaults
+from tests.core.helpers import CONGESTED, make_topology, traffic_event
+
+HORIZON = 3600
+
+
+def congested_stream():
+    """Both sensors of I1 congested over t=1200..1440.
+
+    The spell *starts exactly on a query boundary* (t=1200 with
+    step=300): with ``window == step`` that first SDE's only covering
+    window is ``(900, 1200]``, so **any** positive arrival delay
+    pushes it past its one chance — the loss below is deterministic,
+    not a lucky seed."""
+    return [
+        traffic_event(t, intersection="I1", sensor=sensor, **CONGESTED)
+        for t in range(1200, 1470, 30)
+        for sensor in ("S1", "S2")
+    ]
+
+
+def recognised_congestion(events, *, window, step):
+    """The settled ``scatsCongestion`` verdict as a set of
+    ``(sensor_key, second)`` samples.
+
+    Each query contributes only the chunk about to slide out of the
+    working memory — its final say about those seconds (the same
+    settledness construction as the chaos parity test)."""
+    engine = RTEC(
+        build_traffic_definitions(make_topology(), include_trends=False),
+        window=window,
+        step=step,
+        params=default_traffic_params(),
+    )
+    engine.feed(events)
+    keys = (("I1", "A", "S1"), ("I1", "A", "S2"))
+    held = set()
+    q = step
+    while q <= HORIZON:
+        snapshot = engine.query(q)
+        lo = max(q - window, 0)
+        hi = q if q == HORIZON else lo + step
+        for key in keys:
+            for t in range(lo + 1, hi + 1, 10):
+                if snapshot.holds_at("scatsCongestion", key, t):
+                    held.add((key, t))
+        q += step
+    return held
+
+
+def delayed(events, max_delay_s, seed=4):
+    injector = FaultInjector(
+        StreamFaults(delay_rate=1.0, max_delay_s=max_delay_s),
+        seed=seed,
+        feed="scats",
+    )
+    return injector.events(events)
+
+
+@pytest.mark.chaos
+class TestDelayTolerance:
+    def test_clean_stream_recognised_either_way(self):
+        events = congested_stream()
+        for window, step in ((300, 300), (900, 300)):
+            assert recognised_congestion(events, window=window, step=step)
+
+    def test_window_equals_step_loses_delayed_sdes(self):
+        """An SDE delayed past its only covering query is gone."""
+        events = congested_stream()
+        clean = recognised_congestion(events, window=300, step=300)
+        shaken = recognised_congestion(
+            delayed(events, max_delay_s=500), window=300, step=300
+        )
+        assert shaken < clean  # strictly fewer congestion verdicts
+
+    def test_window_over_step_recovers_the_same_delays(self):
+        """The identical faulty stream, re-run with an overlapping
+        working memory: every delayed SDE lands in a later window that
+        still covers its occurrence time (delay ≤ window - step)."""
+        events = congested_stream()
+        clean = recognised_congestion(events, window=900, step=300)
+        shaken = recognised_congestion(
+            delayed(events, max_delay_s=500), window=900, step=300
+        )
+        assert shaken == clean
+
+    def test_delay_beyond_tolerance_still_loses(self):
+        """The guarantee is exactly window - step: delays beyond it
+        can push an SDE past every covering query."""
+        events = congested_stream()
+        clean = recognised_congestion(events, window=900, step=300)
+        shaken = recognised_congestion(
+            delayed(events, max_delay_s=2000, seed=6),
+            window=900,
+            step=300,
+        )
+        assert shaken != clean

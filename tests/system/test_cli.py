@@ -157,6 +157,59 @@ class TestMapSvg:
         assert svg.read_text().startswith("<svg")
 
 
+class TestFaults:
+    def test_lists_profiles(self, capsys):
+        code = main(["faults"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lossy_scats" in out
+        assert "chaos_day" in out
+
+    def test_show_profile_as_json(self, capsys):
+        import json
+
+        code = main(["faults", "--show", "delayed_bus"])
+        assert code == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["name"] == "delayed_bus"
+        assert parsed["bus"]["delay_rate"] > 0
+
+    def test_show_unknown_profile_reports_cleanly(self, capsys):
+        code = main(["faults", "--show", "lossy_scat"])
+        assert code == 2
+        assert "lossy_scats" in capsys.readouterr().err
+
+    def test_dlq_demo_prints_dead_letters(self, capsys):
+        import json
+
+        code = main(["faults", "--dlq-demo", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("["):out.rindex("]") + 1])
+        assert payload  # at least one corrupted item dead-lettered
+        assert all(
+            letter["process"] == "validate"
+            or letter["process"].startswith("breaker:")
+            for letter in payload
+        )
+        assert "dead-lettered" in out.splitlines()[-1]
+
+    def test_run_with_blackout_prints_degraded_timeline(self, capsys):
+        code = main([
+            "run", *SMALL, "--participants", "10",
+            "--faults", "blackout_scats",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degraded intervals:" in out
+        assert "'scats' degraded over" in out
+
+    def test_run_rejects_unknown_profile(self, capsys):
+        code = main(["run", *SMALL, "--faults", "nope"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestErrorHandling:
     def test_bad_window_step_reports_cleanly(self, capsys):
         code = main(["recognise", *SMALL, "--window", "100", "--step",
