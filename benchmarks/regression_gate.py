@@ -1,0 +1,308 @@
+"""Bench-regression gate for the recognition hot path.
+
+Runs the recognition benchmarks (``bench_fig4_recognition.py`` and
+``bench_ablation_window_step.py``) in smoke mode and compares each
+test's runtime against a recorded baseline, failing when throughput
+regresses by more than the tolerance (default 15%).
+
+Two defences keep the gate from firing on measurement noise rather
+than code:
+
+* every suite pass is preceded by a fixed pure-Python *calibration
+  loop*, and each test's mean is normalised by the pass's calibration
+  time — a machine-wide slowdown (CPU frequency scaling, a noisy CI
+  neighbour) stretches both the same way and cancels out of the
+  comparison, while a code regression only stretches the benchmark;
+* the suite is repeated (default 3 passes) and each test's *best*
+  normalised mean is compared — single-pass means of tens of
+  milliseconds are scheduler noise, but a genuine regression raises
+  the best-of-N floor itself.
+
+The recorded baseline uses the same statistic.
+
+Benchmarks publish the figures to gate via
+``benchmark.extra_info["gate_metrics"]`` — process-time recognition
+costs, free of the harness's wall-clock scheduling noise; tests
+without them are gated on their wall-clock mean.  Results — and the
+baseline being compared against — live in ``BENCH_pr4.json``::
+
+    {
+      "scale":     <REPRO_BENCH_SCALE used>,
+      "baseline":  {metric_id: {"mean_s": ..., "norm": ...}},
+      "latest":    {metric_id: {"mean_s": ..., "norm": ..., "cal_s": ...}},
+      "info":      {test_id: <extra_info>},
+      "regressions": [ ... ]                      # non-empty => fail
+    }
+
+Timings are machine-dependent, so the baseline is meaningful only for
+the machine that recorded it; CI should cache ``BENCH_pr4.json`` per
+runner class (see ``.github/workflows/ci.yml``) and this script
+*bootstraps* — records a fresh baseline and passes — when none exists
+for the current environment.
+
+Usage::
+
+    python benchmarks/regression_gate.py            # compare (or bootstrap)
+    python benchmarks/regression_gate.py --record   # re-record the baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent
+DEFAULT_OUT = REPO / "BENCH_pr4.json"
+
+#: Benchmark files guarding the recognition hot path.
+BENCH_FILES = (
+    "bench_fig4_recognition.py",
+    "bench_ablation_window_step.py",
+)
+
+#: Allowed slowdown before the gate fails (>15% throughput regression).
+DEFAULT_TOLERANCE = 0.15
+
+#: Smoke scale used when the caller has not pinned one.
+DEFAULT_SMOKE_SCALE = "0.05"
+
+#: Repeated suite runs per gate invocation (min-of-means comparison).
+DEFAULT_REPEATS = 3
+
+
+def calibrate() -> float:
+    """Seconds for a fixed pure-Python workload on this machine, now.
+
+    Interpreter bytecode dispatch dominates the recognition hot path,
+    so a bytecode-bound loop tracks how fast the benchmarks *can* run
+    under the machine's current frequency/load state.  The loop is
+    warmed before timing (the first executions in a fresh process read
+    over 50% slow while the CPU ramps), then the best of seven shakes
+    off scheduler preemptions without hiding a sustained slowdown.
+    """
+    import time
+
+    def spin() -> float:
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(300_000):
+            acc += i & 7
+        return time.perf_counter() - t0
+
+    for _ in range(3):
+        spin()
+    return min(spin() for _ in range(7))
+
+
+def run_benchmarks(scale: str) -> tuple[dict[str, dict], dict[str, dict]]:
+    """Run the gated benchmark files once.
+
+    Returns ``(metrics, info)``: the gated timing per metric name, and
+    each test's full ``extra_info`` for the report.  A test publishing
+    ``extra_info["gate_metrics"]`` is gated on those process-time
+    figures (one metric per entry, named ``test::metric``); a test
+    without them falls back to its wall-clock mean.
+
+    A failed pytest run is retried once — the gate measures throughput
+    and must not turn one transient test flake into a red build; a
+    *repeatable* failure still aborts.
+    """
+    for attempt in (1, 2):
+        with tempfile.TemporaryDirectory() as tmp:
+            json_path = Path(tmp) / "bench.json"
+            env = dict(os.environ)
+            env.setdefault("REPRO_BENCH_SCALE", scale)
+            src = str(REPO / "src")
+            env["PYTHONPATH"] = (
+                src + os.pathsep + env["PYTHONPATH"]
+                if env.get("PYTHONPATH")
+                else src
+            )
+            cmd = [
+                sys.executable,
+                "-m",
+                "pytest",
+                "-q",
+                "-p",
+                "no:cacheprovider",
+                f"--benchmark-json={json_path}",
+                *BENCH_FILES,
+            ]
+            proc = subprocess.run(
+                cmd, cwd=HERE, env=env, capture_output=True, text=True
+            )
+            if proc.returncode == 0:
+                document = json.loads(json_path.read_text())
+                break
+            print(
+                f"benchmark pass failed (exit {proc.returncode}, "
+                f"attempt {attempt}); pytest output tail:"
+            )
+            print("\n".join(proc.stdout.splitlines()[-30:]))
+    else:
+        raise SystemExit(
+            "benchmark run failed twice; "
+            "fix the failing benchmark before gating throughput"
+        )
+    metrics: dict[str, dict] = {}
+    info: dict[str, dict] = {}
+    for bench in document.get("benchmarks", []):
+        extra = bench.get("extra_info", {})
+        info[bench["name"]] = extra
+        gated = extra.get("gate_metrics")
+        if gated:
+            for metric, seconds in gated.items():
+                metrics[f"{bench['name']}::{metric}"] = {"mean_s": seconds}
+        else:
+            metrics[bench["name"]] = {"mean_s": bench["stats"]["mean"]}
+    return metrics, info
+
+
+def best_of(
+    scale: str, repeats: int
+) -> tuple[dict[str, dict], dict[str, dict]]:
+    """Repeat the suite, keeping each metric's best calibration-
+    normalised value (units: multiples of the calibration workload)."""
+    best: dict[str, dict] = {}
+    info: dict[str, dict] = {}
+    for _ in range(max(repeats, 1)):
+        cal_before = calibrate()
+        metrics, pass_info = run_benchmarks(scale)
+        # Average the machine-speed samples taken on both sides of the
+        # pass so frequency drift *during* it is first-order cancelled.
+        cal = (cal_before + calibrate()) / 2.0
+        info.update(pass_info)
+        for name, entry in metrics.items():
+            entry["cal_s"] = cal
+            entry["norm"] = entry["mean_s"] / cal
+            seen = best.get(name)
+            if seen is None or entry["norm"] < seen["norm"]:
+                best[name] = entry
+    return best, info
+
+
+def compare(
+    baseline: dict[str, dict],
+    latest: dict[str, dict],
+    tolerance: float,
+) -> list[str]:
+    """Regression messages for tests whose calibration-normalised mean
+    exceeds the baseline's by more than the tolerance."""
+    regressions = []
+    for name, entry in sorted(latest.items()):
+        base = baseline.get(name)
+        if base is None:
+            continue  # new benchmark: becomes part of the next baseline
+        allowed = base["norm"] * (1.0 + tolerance)
+        if entry["norm"] > allowed:
+            regressions.append(
+                f"{name}: {entry['norm']:.1f} vs baseline "
+                f"{base['norm']:.1f} calibration units "
+                f"(+{entry['norm'] / base['norm'] - 1.0:.0%}, "
+                f"allowed +{tolerance:.0%}; "
+                f"wall {entry['mean_s']:.4f}s vs {base['mean_s']:.4f}s)"
+            )
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help="re-record the baseline from this run instead of comparing",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUT,
+        help=f"result/baseline file (default: {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional slowdown before failing (default 0.15)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=DEFAULT_REPEATS,
+        help="suite runs per invocation; the fastest mean per test is "
+        f"compared (default {DEFAULT_REPEATS})",
+    )
+    args = parser.parse_args(argv)
+
+    scale = os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SMOKE_SCALE)
+    previous = (
+        json.loads(args.out.read_text()) if args.out.exists() else {}
+    )
+    baseline = previous.get("baseline", {})
+    stale = previous.get("scale") not in (None, scale) or any(
+        "norm" not in entry for entry in baseline.values()
+    )
+
+    latest, info = best_of(scale, args.repeats)
+    if baseline and not set(baseline) & set(latest):
+        stale = True  # metric naming changed: nothing is comparable
+    if baseline and latest and not stale:
+        # A baseline recorded on a very different machine class (e.g. a
+        # checked-in dev-machine file seeding a CI runner) is not a
+        # meaningful floor even after normalisation: re-record instead
+        # of failing on hardware differences.
+        base = next(iter(baseline.values()))
+        base_cal = base["mean_s"] / base["norm"]
+        ratio = next(iter(latest.values()))["cal_s"] / base_cal
+        if not 0.6 <= ratio <= 1.67:
+            stale = True
+
+    record = args.record or not baseline or stale
+    if record and stale and baseline:
+        print(
+            f"baseline is stale (recorded at scale "
+            f"{previous.get('scale')} or with other metrics): re-recording"
+        )
+    regressions = (
+        [] if record else compare(baseline, latest, args.tolerance)
+    )
+    document = {
+        "scale": scale,
+        "baseline": (
+            {
+                k: {"mean_s": v["mean_s"], "norm": v["norm"]}
+                for k, v in latest.items()
+            }
+            if record
+            else baseline
+        ),
+        "latest": latest,
+        "info": info,
+        "regressions": regressions,
+    }
+    args.out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    if record:
+        print(f"recorded baseline for {len(latest)} benchmarks -> {args.out}")
+        return 0
+    if regressions:
+        print("throughput regressions detected:")
+        for line in regressions:
+            print(f"  {line}")
+        print(f"details -> {args.out}")
+        return 1
+    print(
+        f"no throughput regression (> {args.tolerance:.0%}) across "
+        f"{len(latest)} benchmarks -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -107,6 +107,7 @@ def _cmd_recognise(args: argparse.Namespace) -> int:
         window=args.window,
         step=args.step,
         params=default_traffic_params(),
+        incremental=not args.legacy,
     )
     engine.feed(data.events, data.facts)
     log = RecognitionLog()
@@ -145,6 +146,8 @@ def _system_config_from(args: argparse.Namespace) -> SystemConfig:
         "n_participants": args.participants,
         "seed": args.seed,
     }
+    if getattr(args, "legacy", False):
+        mapping["incremental"] = False
     if getattr(args, "parallel", False):
         mapping["parallel_regions"] = True
     if getattr(args, "faults", None):
@@ -419,6 +422,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--noisy-variant", choices=("crowd", "pessimistic"),
         default="pessimistic",
     )
+    recognise.add_argument(
+        "--legacy", action="store_true",
+        help="recompute every window from scratch instead of the "
+        "incremental cross-window cache (differential testing)",
+    )
     recognise.set_defaults(fn=_cmd_recognise)
 
     run = subparsers.add_parser(
@@ -449,6 +457,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--faults", default=None, metavar="PROFILE",
         help="inject a named fault profile (see 'faults' subcommand)",
+    )
+    run.add_argument(
+        "--legacy", action="store_true",
+        help="disable incremental recognition (recompute per window)",
     )
     run.set_defaults(fn=_cmd_run)
 
@@ -485,6 +497,10 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument(
         "--json", default=None, metavar="PATH",
         help="write the full registry export as JSON",
+    )
+    metrics.add_argument(
+        "--legacy", action="store_true",
+        help="disable incremental recognition (recompute per window)",
     )
     metrics.set_defaults(fn=_cmd_metrics)
 

@@ -1,0 +1,475 @@
+"""Cross-window caching machinery for the incremental RTEC engine.
+
+Consecutive query times ``Q_{i-1}`` and ``Q_i`` share the overlap
+``(Q_i - window, Q_{i-1}]`` of their working memories, yet the legacy
+engine re-derives every definition from scratch at each query.  This
+module provides the building blocks the engine uses to re-derive only
+the newest ``step`` of data:
+
+* :class:`IncrementalSpec` — a definition's declaration of *how far* a
+  derived point can see (lookback/lookahead over the raw inputs it
+  reads), which makes cached points reusable and late arrivals
+  invalidatable;
+* :class:`WorkingMemory` — a persistent, time-indexed SDE store that
+  admits inputs by arrival time and evicts by the window's left edge
+  instead of rebuilding per query;
+* range utilities (:func:`merge_ranges`, :class:`RangeSet`) and output
+  diffing (:func:`changed_point_ranges`,
+  :func:`changed_interval_ranges`) used to propagate invalidation
+  through the definition strata.
+
+The contract behind :class:`IncrementalSpec`: a definition's output
+*point* at time ``t`` (an occurrence, or an initiation/termination
+point) must be a function of
+
+* input SDEs/facts of the declared types with occurrence time in
+  ``(t - lookback, t + lookahead]``, and
+* upstream definition outputs in the same band (upstream changes are
+  propagated by the engine via the published change ranges),
+
+and nothing else.  A definition whose points depend on unbounded
+history (e.g. "k consecutive readings" with no time bound) declares
+``lookback=None`` and is recomputed in full each query.  Definitions
+with no spec at all (the default) also take the full-recompute path,
+so user-supplied rules are always evaluated exactly as by the legacy
+engine.
+"""
+
+from __future__ import annotations
+
+import bisect
+import sys
+from collections import Counter
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional
+
+from .events import Event, FluentFact, FluentKey
+from .intervals import IntervalList
+
+_MAX_SEQ = sys.maxsize
+
+#: Inclusive integer time range ``[lo, hi]``.
+TimeRange = tuple[int, int]
+
+
+# ----------------------------------------------------------------------
+# Incremental contracts
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IncrementalSpec:
+    """How a definition's output points depend on its raw inputs.
+
+    Attributes
+    ----------
+    lookback:
+        A point at ``t`` depends on inputs with occurrence time
+        ``> t - lookback``; ``None`` marks the definition uncacheable
+        (points may depend on unbounded history inside the window).
+    lookahead:
+        A point at ``t`` depends on inputs with occurrence time
+        ``<= t + lookahead``.
+    event_types / fact_names:
+        The raw SDE event types and input-fluent names the rule body
+        reads.  Late arrivals of other types never invalidate this
+        definition's cache.
+    event_partition / fact_partition / point_partition:
+        Optional *grounding partition*: maps from an input event / an
+        input fact / an output point to a hashable token such that a
+        point is a function only of inputs carrying the same token
+        (e.g. per-bus rules).  When every declared input type has a
+        partition function, a late arrival invalidates only its own
+        token's points — the engine re-derives just the affected
+        groundings instead of a whole time band.
+        ``point_partition`` receives an :class:`~.events.Occurrence`
+        for derived events, a ``(key, t)`` pair for simple fluents and
+        a ``(key, value, t)`` triple for valued fluents.
+    """
+
+    lookback: Optional[int]
+    lookahead: int = 0
+    event_types: frozenset[str] = frozenset()
+    fact_names: frozenset[str] = frozenset()
+    event_partition: Optional[
+        Mapping[str, Callable[[Event], Hashable]]
+    ] = None
+    fact_partition: Optional[
+        Mapping[str, Callable[[FluentFact], Hashable]]
+    ] = None
+    point_partition: Optional[Callable[[Any], Hashable]] = None
+
+    @property
+    def partitioned(self) -> bool:
+        """Whether invalidation can target individual groundings."""
+        if self.point_partition is None:
+            return False
+        events = self.event_partition or {}
+        facts = self.fact_partition or {}
+        return all(t in events for t in self.event_types) and all(
+            n in facts for n in self.fact_names
+        )
+
+
+# ----------------------------------------------------------------------
+# Persistent working memory
+# ----------------------------------------------------------------------
+class TimedColumn:
+    """One time-sorted column of SDEs (one event type or fact key).
+
+    Items are kept sorted by ``(occurrence time, feed sequence)``; the
+    sequence number reproduces the legacy engine's stable-sort
+    tie-break, so window slices are element-for-element identical to
+    the lists the legacy engine builds per query.
+    """
+
+    __slots__ = ("order", "times", "items")
+
+    def __init__(self) -> None:
+        self.order: list[tuple[int, int]] = []
+        self.times: list[int] = []
+        self.items: list[Any] = []
+
+    def insert(self, time: int, seq: int, item: Any) -> None:
+        """Insert an item at its ``(time, seq)`` position."""
+        order = self.order
+        key = (time, seq)
+        if not order or key >= order[-1]:
+            # In-order arrival (the overwhelmingly common case).
+            order.append(key)
+            self.times.append(time)
+            self.items.append(item)
+            return
+        i = bisect.bisect_right(order, key)
+        order.insert(i, key)
+        self.times.insert(i, time)
+        self.items.insert(i, item)
+
+    def evict(self, horizon: int) -> None:
+        """Drop every item with occurrence time ``<= horizon``."""
+        cut = bisect.bisect_right(self.order, (horizon, _MAX_SEQ))
+        if cut:
+            del self.order[:cut]
+            del self.times[:cut]
+            del self.items[:cut]
+
+    def bounds(self, lo: int, hi: int) -> tuple[int, int]:
+        """Index bounds of the items with time in ``(lo, hi]``."""
+        i = bisect.bisect_right(self.order, (lo, _MAX_SEQ))
+        j = bisect.bisect_right(self.order, (hi, _MAX_SEQ))
+        return i, j
+
+
+class WorkingMemory:
+    """Persistent SDE store indexed by occurrence time.
+
+    Inputs are buffered with their arrival time; :meth:`admit` moves
+    everything that has arrived by the query time into the per-type /
+    per-fact-key columns, and :meth:`evict` cuts the prefix that fell
+    out of the window.  Between queries the columns *are* the window
+    contents — nothing is rebuilt.
+    """
+
+    def __init__(self) -> None:
+        self.events: dict[str, TimedColumn] = {}
+        self.facts: dict[tuple[str, FluentKey], TimedColumn] = {}
+        #: per-token sub-indexes maintained for registered grounding
+        #: partitions: ``(event type, id(fn)) -> token -> column`` and
+        #: ``(fact name, id(fn)) -> token -> fact key -> column``.
+        self.event_groups: dict[
+            tuple[str, int], dict[Hashable, TimedColumn]
+        ] = {}
+        self.fact_groups: dict[
+            tuple[str, int], dict[Hashable, dict[FluentKey, TimedColumn]]
+        ] = {}
+        self._event_partitions: dict[
+            str, list[tuple[int, Callable[[Event], Hashable]]]
+        ] = {}
+        self._fact_partitions: dict[
+            str, list[tuple[int, Callable[[FluentFact], Hashable]]]
+        ] = {}
+        #: (arrival, seq, is_fact, item) awaiting admission; sorted
+        #: lazily — inputs mostly arrive in order, so a dirty-flagged
+        #: list beats a heap's per-item push/pop.
+        self._pending: list[tuple[int, int, bool, Any]] = []
+        self._pending_sorted = True
+        self._seq = 0
+
+    def buffer_event(self, event: Event) -> None:
+        """Queue an input SDE until its arrival time is reached."""
+        self._seq += 1
+        entry = (event.arrival, self._seq, False, event)
+        pending = self._pending
+        if pending and entry < pending[-1]:
+            self._pending_sorted = False
+        pending.append(entry)
+
+    def buffer_fact(self, fact: FluentFact) -> None:
+        """Queue an input-fluent fact until its arrival time is reached."""
+        self._seq += 1
+        entry = (fact.arrival, self._seq, True, fact)
+        pending = self._pending
+        if pending and entry < pending[-1]:
+            self._pending_sorted = False
+        pending.append(entry)
+
+    # -- grounding partitions ------------------------------------------
+    def register_event_partition(
+        self, etype: str, fn: Callable[[Event], Hashable]
+    ) -> None:
+        """Maintain a per-token sub-index of an event type under ``fn``.
+
+        Registered partitions let the engine assemble the restricted
+        context of a dirty grounding from pre-grouped columns instead
+        of scanning (and re-tokenising) the whole window every query.
+        Functions are deduplicated by identity — the same module-level
+        partition shared by several definitions is indexed once.
+        """
+        fns = self._event_partitions.setdefault(etype, [])
+        if any(fid == id(fn) for fid, _ in fns):
+            return
+        fns.append((id(fn), fn))
+        groups: dict[Hashable, TimedColumn] = {}
+        self.event_groups[(etype, id(fn))] = groups
+        column = self.events.get(etype)
+        if column is not None:  # backfill anything already admitted
+            for (time, seq), item in zip(column.order, column.items):
+                self._group_insert(groups, fn(item), time, seq, item)
+
+    def register_fact_partition(
+        self, name: str, fn: Callable[[FluentFact], Hashable]
+    ) -> None:
+        """Maintain per-token, per-key sub-indexes of a fact name."""
+        fns = self._fact_partitions.setdefault(name, [])
+        if any(fid == id(fn) for fid, _ in fns):
+            return
+        fns.append((id(fn), fn))
+        groups: dict[Hashable, dict[FluentKey, TimedColumn]] = {}
+        self.fact_groups[(name, id(fn))] = groups
+        for (fname, fkey), column in self.facts.items():
+            if fname != name:
+                continue
+            for (time, seq), item in zip(column.order, column.items):
+                by_key = groups.setdefault(fn(item), {})
+                self._group_insert(by_key, fkey, time, seq, item)
+
+    @staticmethod
+    def _group_insert(
+        groups: dict, token: Hashable, time: int, seq: int, item: Any
+    ) -> None:
+        column = groups.get(token)
+        if column is None:
+            column = groups[token] = TimedColumn()
+        column.insert(time, seq, item)
+
+    def admit(
+        self, q: int, horizon: int
+    ) -> tuple[list[Event], list[FluentFact]]:
+        """Index everything that has arrived by ``q``.
+
+        Items whose occurrence time is already at or before ``horizon``
+        (the new window's left edge) are discarded outright.  Returns
+        the newly admitted events and facts — the inputs this query
+        sees for the first time.
+        """
+        new_events: list[Event] = []
+        new_facts: list[FluentFact] = []
+        pending = self._pending
+        if not self._pending_sorted:
+            pending.sort()
+            self._pending_sorted = True
+        cut = bisect.bisect_left(pending, (q + 1,))
+        if not cut:
+            return new_events, new_facts
+        batch = pending[:cut]
+        del pending[:cut]
+        for _, seq, is_fact, item in batch:
+            if item.time <= horizon:
+                continue
+            if is_fact:
+                column = self.facts.get((item.name, item.key))
+                if column is None:
+                    column = self.facts[(item.name, item.key)] = TimedColumn()
+                column.insert(item.time, seq, item)
+                fns = self._fact_partitions.get(item.name)
+                if fns:
+                    for fid, fn in fns:
+                        by_key = self.fact_groups[(item.name, fid)].setdefault(
+                            fn(item), {}
+                        )
+                        self._group_insert(
+                            by_key, item.key, item.time, seq, item
+                        )
+                new_facts.append(item)
+            else:
+                column = self.events.get(item.type)
+                if column is None:
+                    column = self.events[item.type] = TimedColumn()
+                column.insert(item.time, seq, item)
+                fns = self._event_partitions.get(item.type)
+                if fns:
+                    for fid, fn in fns:
+                        self._group_insert(
+                            self.event_groups[(item.type, fid)],
+                            fn(item),
+                            item.time,
+                            seq,
+                            item,
+                        )
+                new_events.append(item)
+        return new_events, new_facts
+
+    def evict(self, horizon: int) -> None:
+        """Evict items that fell out of the window ``(horizon, Q]``."""
+        for column in self.events.values():
+            column.evict(horizon)
+        for column in self.facts.values():
+            column.evict(horizon)
+        for groups in self.event_groups.values():
+            stale = []
+            for token, column in groups.items():
+                column.evict(horizon)
+                if not column.items:
+                    stale.append(token)
+            for token in stale:
+                del groups[token]
+        for groups in self.fact_groups.values():
+            stale_tokens = []
+            for token, by_key in groups.items():
+                stale_keys = []
+                for fkey, column in by_key.items():
+                    column.evict(horizon)
+                    if not column.items:
+                        stale_keys.append(fkey)
+                for fkey in stale_keys:
+                    del by_key[fkey]
+                if not by_key:
+                    stale_tokens.append(token)
+            for token in stale_tokens:
+                del groups[token]
+
+    def n_events(self) -> int:
+        """Number of events currently inside the window."""
+        return sum(len(column.items) for column in self.events.values())
+
+
+# ----------------------------------------------------------------------
+# Range utilities
+# ----------------------------------------------------------------------
+def merge_ranges(
+    ranges: Iterable[TimeRange], lo: int, hi: int
+) -> list[TimeRange]:
+    """Clip inclusive ranges to ``[lo, hi]`` and merge overlapping or
+    adjacent ones into a sorted, disjoint list."""
+    clipped = sorted(
+        (max(a, lo), min(b, hi)) for a, b in ranges if a <= hi and b >= lo
+    )
+    out: list[TimeRange] = []
+    for a, b in clipped:
+        if out and a <= out[-1][1] + 1:
+            if b > out[-1][1]:
+                out[-1] = (out[-1][0], b)
+        else:
+            out.append((a, b))
+    return out
+
+
+class RangeSet:
+    """Membership tests over a merged, sorted list of inclusive ranges."""
+
+    __slots__ = ("_starts", "_ends")
+
+    def __init__(self, ranges: Sequence[TimeRange]):
+        self._starts = [a for a, _ in ranges]
+        self._ends = [b for _, b in ranges]
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __contains__(self, t: int) -> bool:
+        i = bisect.bisect_right(self._starts, t) - 1
+        return i >= 0 and t <= self._ends[i]
+
+
+# ----------------------------------------------------------------------
+# Output diffing (invalidation propagation between strata)
+# ----------------------------------------------------------------------
+def freeze(value: Any) -> Hashable:
+    """A hashable stand-in for a payload value (mappings and lists are
+    converted recursively; payload mapping proxies are not hashable)."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((k, freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze(v) for v in value)
+    return value
+
+
+def changed_point_ranges(
+    old_pairs: Iterable[tuple[Hashable, int]],
+    new_pairs: Iterable[tuple[Hashable, int]],
+    lo: int,
+    hi: int,
+) -> list[TimeRange]:
+    """Time ranges where two point multisets differ, clipped to
+    ``[lo, hi]``.
+
+    Each input is an iterable of ``(token, time)`` pairs where the
+    token identifies the point up to multiset equality (and embeds its
+    time, so every token maps to a single time-point).
+    """
+    counts: Counter = Counter()
+    time_of: dict[Hashable, int] = {}
+    for token, t in old_pairs:
+        counts[token] += 1
+        time_of[token] = t
+    for token, t in new_pairs:
+        counts[token] -= 1
+        time_of[token] = t
+    changed = {time_of[token] for token, c in counts.items() if c}
+    return merge_ranges(((t, t) for t in changed), lo, hi)
+
+
+def changed_interval_ranges(
+    old: Mapping[FluentKey, IntervalList],
+    new: Mapping[FluentKey, IntervalList],
+    lo: int,
+    hi: int,
+) -> list[TimeRange]:
+    """Time ranges where two fluent outputs differ point-wise, clipped
+    to ``[lo, hi]``.
+
+    For each grounding the symmetric difference of the old and new
+    interval lists — ``(old OR new) AND NOT (old AND new)`` — is exactly
+    the set of time-points where ``holdsAt`` changed.
+    """
+    ranges: list[TimeRange] = []
+    empty = IntervalList.empty()
+    for key in old.keys() | new.keys():
+        a = old.get(key, empty)
+        b = new.get(key, empty)
+        if a == b:
+            continue
+        union = a.union(b)
+        common = a.intersect(b)
+        for start, end in union.relative_complement([common]):
+            last = hi if end is None else end - 1
+            ranges.append((start, last))
+    return merge_ranges(ranges, lo, hi)
+
+
+# ----------------------------------------------------------------------
+# Per-definition cache state
+# ----------------------------------------------------------------------
+@dataclass
+class DefinitionState:
+    """Cross-query cache state the engine keeps per definition."""
+
+    #: cached output points per stream (``{"occ": [...]}`` for derived
+    #: events, ``{"init": [...], "term": [...]}`` for fluents), covering
+    #: the whole previous window.
+    streams: Optional[dict[str, list[Any]]] = None
+    #: previous query's final interval output (fluent kinds only).
+    prev_out: Optional[dict[FluentKey, IntervalList]] = None
+    #: where this definition's output changed relative to the previous
+    #: query, clipped to the overlap — read by downstream definitions
+    #: to invalidate their own caches.
+    changed: list[TimeRange] = field(default_factory=list)

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import math
 from collections.abc import Iterable, Iterator, Sequence
+from heapq import merge as _heap_merge
 from typing import Optional
 
 #: Effects of an initiation/termination apply this many time-points
@@ -67,6 +68,24 @@ class IntervalList:
     def single(cls, start: int, end: Optional[int]) -> "IntervalList":
         """A list holding one interval ``[start, end)``."""
         return cls(((start, end),))
+
+    @classmethod
+    def _from_normalised(cls, intervals: tuple[Interval, ...]) -> "IntervalList":
+        """Wrap a tuple that is *known* to be in normal form.
+
+        The trusted constructor behind the algebra's fast paths: the
+        sweep algorithms below emit their output already sorted,
+        disjoint and non-adjacent, so re-running :func:`_normalise`
+        (a sort plus a merge pass) on it would be pure overhead on the
+        engine's hottest path.  Callers must guarantee normal form —
+        the property-based tests assert every algebra result is a
+        normalisation fixpoint.
+        """
+        if not intervals:
+            return _EMPTY
+        out = cls.__new__(cls)
+        out._ivs = intervals
+        return out
 
     # ------------------------------------------------------------------
     # Introspection
@@ -154,10 +173,16 @@ class IntervalList:
     # ------------------------------------------------------------------
     def union(self, other: "IntervalList") -> "IntervalList":
         """Pointwise disjunction of two interval lists."""
-        return IntervalList(self._ivs + other._ivs)
+        return union_all((self, other))
 
     def intersect(self, other: "IntervalList") -> "IntervalList":
-        """Pointwise conjunction of two interval lists."""
+        """Pointwise conjunction of two interval lists.
+
+        The two-pointer sweep over two normal-form inputs emits its
+        output already in normal form: pieces are ordered by start and
+        a piece boundary always coincides with a gap in one of the
+        inputs, so no two pieces can touch.
+        """
         out: list[Interval] = []
         a, b = self._ivs, other._ivs
         i = j = 0
@@ -172,7 +197,7 @@ class IntervalList:
                 i += 1
             else:
                 j += 1
-        return IntervalList(out)
+        return IntervalList._from_normalised(tuple(out))
 
     def complement(self, window_start: int, window_end: Optional[int]) -> "IntervalList":
         """Intervals within ``[window_start, window_end)`` where the
@@ -194,23 +219,56 @@ class IntervalList:
             out.append(
                 (int(cursor), None if window_end is None else window_end)
             )
-        return IntervalList(out)
+        # The gaps of a normal-form list are themselves in normal form:
+        # consecutive gaps are separated by a non-empty interval.
+        return IntervalList._from_normalised(tuple(out))
 
     def relative_complement(
         self, others: Sequence["IntervalList"]
     ) -> "IntervalList":
         """``relative_complement_all``: portions of *self* not covered
-        by any interval of any list in ``others`` (paper, Table 1)."""
+        by any interval of any list in ``others`` (paper, Table 1).
+
+        Implemented as a direct two-pointer subtraction against the
+        union of ``others`` — one pass over each list instead of the
+        complement-then-intersect detour.
+        """
         if not self._ivs:
             return _EMPTY
         covered = union_all(others)
-        if not covered:
+        c = covered._ivs
+        if not c:
             return self
-        # Clip the complement of `covered` to self's extent, then
-        # intersect with self.
-        lo = self._ivs[0][0]
-        hi = self._ivs[-1][1]
-        return self.intersect(covered.complement(lo, hi))
+        out: list[Interval] = []
+        n = len(c)
+        j = 0
+        for start, end in self._ivs:
+            cursor = start
+            open_ended = end is None
+            # Skip covering intervals that end at or before this piece.
+            while j < n and c[j][1] is not None and c[j][1] <= cursor:
+                j += 1
+            k = j
+            clipped = False
+            while k < n:
+                c_start, c_end = c[k]
+                if not open_ended and c_start >= end:
+                    break
+                if c_start > cursor:
+                    out.append((cursor, c_start))
+                if c_end is None:
+                    # Covered to infinity: nothing of this (or any
+                    # later) piece survives past c_start.
+                    return IntervalList._from_normalised(tuple(out))
+                if c_end > cursor:
+                    cursor = c_end
+                if not open_ended and c_end >= end:
+                    clipped = True
+                    break
+                k += 1
+            if not clipped and (open_ended or cursor < end):
+                out.append((cursor, end))
+        return IntervalList._from_normalised(tuple(out))
 
     def clip(self, window_start: int, window_end: Optional[int]) -> "IntervalList":
         """Restrict the intervals to ``[window_start, window_end)``.
@@ -238,8 +296,29 @@ class IntervalList:
         return IntervalList(ivs)
 
 
+def _is_normalised(intervals: Sequence[Interval]) -> bool:
+    """Whether a sequence is already in normal form (sorted, non-empty,
+    disjoint, non-adjacent, open interval only at the end)."""
+    prev_end = 0
+    for i, (start, end) in enumerate(intervals):
+        if i:
+            if prev_end is None or start <= prev_end:
+                return False
+        if end is not None and end <= start:
+            return False
+        prev_end = end
+    return True
+
+
 def _normalise(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
     """Sort, drop empties, and merge overlapping/adjacent intervals."""
+    if not isinstance(intervals, tuple):
+        intervals = tuple(intervals)
+    # Fast path: inputs that are already in normal form (the common
+    # case when one IntervalList is rebuilt from another's intervals)
+    # skip the sort-and-merge entirely.
+    if _is_normalised(intervals):
+        return intervals
     cleaned = [
         (s, e)
         for s, e in intervals
@@ -269,11 +348,32 @@ _EMPTY._ivs = ()
 # RTEC interval-manipulation constructs (paper, Table 1)
 # ----------------------------------------------------------------------
 def union_all(lists: Sequence[IntervalList]) -> IntervalList:
-    """``union_all(L, I)``: maximal intervals of the union of ``L``."""
-    all_ivs: list[Interval] = []
-    for lst in lists:
-        all_ivs.extend(lst.intervals)
-    return IntervalList(all_ivs)
+    """``union_all(L, I)``: maximal intervals of the union of ``L``.
+
+    Every input is already sorted (IntervalLists are normalised on
+    construction), so instead of concatenating and re-sorting, the
+    sorted runs are k-way merged and fused in a single pass —
+    ``O(n log k)`` for ``n`` total intervals over ``k`` lists.
+    """
+    runs = [lst._ivs for lst in lists if lst._ivs]
+    if not runs:
+        return IntervalList.empty()
+    if len(runs) == 1:
+        return IntervalList._from_normalised(runs[0])
+    out: list[Interval] = []
+    for start, end in _heap_merge(
+        *runs, key=lambda iv: (iv[0], _end_sort_key(iv[1]))
+    ):
+        if out:
+            last_start, last_end = out[-1]
+            if last_end is None:
+                break  # an open interval swallows everything after it
+            if start <= last_end:
+                if end is None or end > last_end:
+                    out[-1] = (last_start, end)
+                continue
+        out.append((start, end))
+    return IntervalList._from_normalised(tuple(out))
 
 
 def intersect_all(lists: Sequence[IntervalList]) -> IntervalList:
@@ -383,4 +483,8 @@ def make_intervals(
             current_start = t + EFFECT_DELAY
     if holding and current_start is not None:
         out.append((current_start, None))
-    return IntervalList(out)
+    # Pieces are emitted in point order and a new episode can only
+    # start strictly after the previous one ended (the state machine
+    # must pass through a later initiation point first), so the output
+    # is already in normal form.
+    return IntervalList._from_normalised(tuple(out))

@@ -14,17 +14,45 @@ Evaluation proceeds stratum by stratum over the definitions (see
 :mod:`repro.core.rules`), and the value of each simple fluent at the
 window's left edge is seeded from the previous evaluation cycle, which
 carries the law of inertia across overlapping windows.
+
+Two evaluation modes share those semantics:
+
+* the **legacy** mode (``incremental=False``) rebuilds the window
+  contents and re-derives every definition from scratch at each query
+  time — the direct transcription of the paper;
+* the **incremental** mode (the default) keeps SDEs in a persistent
+  time-indexed working memory (:class:`repro.core.incremental.
+  WorkingMemory`) that evicts by the window's left edge, and reuses
+  each definition's output points from the previous query for the
+  overlap ``[Q_i - window + step, Q_i]``, re-deriving only the newest
+  ``step`` of data plus whatever late arrivals and upstream changes
+  invalidated (see :mod:`repro.core.incremental` for the contract).
+  Its output is identical to the legacy mode's — the golden-trace
+  differential tests in ``tests/core/test_golden_trace.py`` pin that.
 """
 
 from __future__ import annotations
 
+import bisect
+import operator
 import time as _time
 from collections import defaultdict
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Hashable, Optional
 
 from .events import Event, FluentFact, FluentKey, Occurrence
+from .incremental import (
+    DefinitionState,
+    IncrementalSpec,
+    RangeSet,
+    TimeRange,
+    WorkingMemory,
+    changed_interval_ranges,
+    changed_point_ranges,
+    freeze,
+    merge_ranges,
+)
 from .intervals import EFFECT_DELAY, IntervalList, make_intervals
 from .rules import (
     Definition,
@@ -57,6 +85,18 @@ class RecognitionSnapshot:
         quantity reported in the paper's Figure 4.
     n_events:
         Number of input SDEs considered in the window.
+    n_new_events:
+        Number of those SDEs seen for the first time at this query —
+        i.e. arrived after the previous query time.  With overlapping
+        windows the same SDE is *considered* by several consecutive
+        queries (and so counted in ``n_events`` each time); this field
+        counts each SDE exactly once across a run.
+    cache_hits / cache_misses / cache_invalidations:
+        Incremental-evaluation statistics: definitions that reused
+        cached points for the window overlap, cacheable definitions
+        that had to recompute in full, and reusing definitions whose
+        cache was partially invalidated (late arrivals or upstream
+        changes).  All zero in legacy mode.
     """
 
     query_time: int
@@ -67,6 +107,10 @@ class RecognitionSnapshot:
     occurrences: dict[str, list[Occurrence]] = field(default_factory=dict)
     elapsed: float = 0.0
     n_events: int = 0
+    n_new_events: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
     #: CPU seconds spent per definition (profiling breakdown).
     per_definition: dict[str, float] = field(default_factory=dict)
 
@@ -81,6 +125,17 @@ class RecognitionSnapshot:
     def all_occurrences(self, name: str) -> list[Occurrence]:
         """All occurrences of derived event ``name`` in this window."""
         return self.occurrences.get(name, [])
+
+
+def _occurrence_token(occ: Occurrence) -> Hashable:
+    """Hashable identity of an occurrence for multiset diffing (the
+    payload mapping proxy itself is not hashable)."""
+    return (occ.type, occ.key, occ.time, freeze(occ.payload))
+
+
+#: time coordinate of an occurrence, for binary-searching sorted
+#: occurrence streams (C-level accessor: the reuse scan is hot).
+_occurrence_time = operator.attrgetter("time")
 
 
 class RTEC:
@@ -107,6 +162,11 @@ class RTEC:
         for boolean simple fluents, an arbitrary value for valued
         fluents.  Those fluents hold from before the first window until
         terminated.
+    incremental:
+        When ``True`` (the default) SDEs are indexed into a persistent
+        working memory and definition outputs are cached across the
+        window overlap; ``False`` selects the legacy from-scratch
+        evaluation.  Both modes produce identical recognition output.
     """
 
     def __init__(
@@ -118,6 +178,7 @@ class RTEC:
         params: Optional[Mapping[str, Any]] = None,
         start: int = 0,
         initially: Optional[Mapping[tuple[str, FluentKey], Any]] = None,
+        incremental: bool = True,
     ):
         if window <= 0 or step <= 0:
             raise ValueError("window and step must be positive")
@@ -132,13 +193,48 @@ class RTEC:
         self._definitions = stratify(definitions)
         self._start = start
         self._last_query: Optional[int] = None
+        self.incremental = bool(incremental)
+        # Legacy input buffers (legacy mode only).
         self._events: list[Event] = []
         self._facts: list[FluentFact] = []
         self._inputs_sorted = True
-        #: last computed intervals per (fluent name, grounding); seeds
+        # Incremental state: the persistent working memory, each
+        # definition's declared input contract and its cached points.
+        self._wm = WorkingMemory() if self.incremental else None
+        self._specs: dict[str, Optional[IncrementalSpec]] = {}
+        self._states: dict[str, DefinitionState] = {}
+        if self.incremental:
+            for d in self._definitions:
+                spec = self._specs[d.name] = d.incremental_spec(self.params)
+                if (
+                    spec is None
+                    or spec.lookback is None
+                    or not spec.partitioned
+                ):
+                    continue
+                # Partitioned specs re-derive dirty groundings from a
+                # token-restricted context; registering their partition
+                # functions keeps the working memory pre-grouped so the
+                # context never needs a full-column scan.
+                for etype in spec.event_types:
+                    self._wm.register_event_partition(
+                        etype, spec.event_partition[etype]
+                    )
+                for fname in spec.fact_names:
+                    self._wm.register_fact_partition(
+                        fname, spec.fact_partition[fname]
+                    )
+        #: definitions some *other* definition depends on: only their
+        #: output diffs feed downstream invalidation, so ``changed`` is
+        #: computed for them alone (for sinks it would be dead work).
+        self._consumed = {
+            dep for d in self._definitions for dep in d.depends_on
+        }
+        #: last computed intervals per fluent name and grounding; seeds
         #: the value at the next window's left edge (inertia).  Valued
-        #: fluents are cached under ``grounding + (value,)``.
-        self._fluent_cache: dict[tuple[str, FluentKey], IntervalList] = {}
+        #: fluents are cached under ``grounding + (value,)``; groundings
+        #: whose intervals became empty are pruned.
+        self._fluent_cache: dict[str, dict[FluentKey, IntervalList]] = {}
         #: names of the valued-fluent definitions (they extend keys).
         self._valued_names = {
             d.name for d in self._definitions if isinstance(d, ValuedFluent)
@@ -148,16 +244,16 @@ class RTEC:
             genesis = start + step - window - 1
             for (name, key), value in initially.items():
                 if name in self._valued_names:
-                    cache_key = (name, tuple(key) + (value,))
+                    cache_key = tuple(key) + (value,)
                 elif value is True:
-                    cache_key = (name, tuple(key))
+                    cache_key = tuple(key)
                 else:
                     raise ValueError(
                         "boolean fluents can only be initially True; "
                         f"got {value!r} for {name!r}"
                     )
-                self._fluent_cache[cache_key] = IntervalList.single(
-                    genesis, None
+                self._fluent_cache.setdefault(name, {})[cache_key] = (
+                    IntervalList.single(genesis, None)
                 )
 
     # ------------------------------------------------------------------
@@ -170,9 +266,10 @@ class RTEC:
     ) -> None:
         """Buffer input SDEs and input-fluent facts.
 
-        Inputs may be fed in any order; the engine sorts by occurrence
-        time before each query and honours arrival times when selecting
-        the window contents.
+        Inputs may be fed in any order; the engine honours arrival
+        times when selecting window contents (legacy mode sorts its
+        buffers per query, incremental mode indexes by occurrence time
+        on admission).
 
         SDEs with a negative occurrence time are rejected: the scenario
         clock starts at 0, so a negative stamp is always a mediator bug
@@ -186,16 +283,22 @@ class RTEC:
                     f"event of type {ev.type!r} occurs at negative time "
                     f"{ev.time}; SDE timestamps must be >= 0"
                 )
-            self._events.append(ev)
-            appended = True
+            if self._wm is not None:
+                self._wm.buffer_event(ev)
+            else:
+                self._events.append(ev)
+                appended = True
         for fact in facts:
             if fact.time < 0:
                 raise ValueError(
                     f"fluent fact {fact.name!r} occurs at negative time "
                     f"{fact.time}; SDE timestamps must be >= 0"
                 )
-            self._facts.append(fact)
-            appended = True
+            if self._wm is not None:
+                self._wm.buffer_fact(fact)
+            else:
+                self._facts.append(fact)
+                appended = True
         if appended:
             self._inputs_sorted = False
 
@@ -224,11 +327,19 @@ class RTEC:
             raise ValueError(
                 f"query times must be increasing: {q} <= {self._last_query}"
             )
+        if self._wm is not None:
+            return self._query_incremental(q)
+        return self._query_legacy(q)
+
+    # -- legacy mode ---------------------------------------------------
+    def _query_legacy(self, q: int) -> RecognitionSnapshot:
         self._ensure_sorted()
         window_start = q - self.window
+        previous = self._last_query
 
         events_by_type: dict[str, list[Event]] = defaultdict(list)
         n_events = 0
+        n_new_events = 0
         for ev in self._events:
             if ev.time <= window_start:
                 continue
@@ -237,6 +348,8 @@ class RTEC:
             if ev.arrival <= q:
                 events_by_type[ev.type].append(ev)
                 n_events += 1
+                if previous is None or ev.arrival > previous:
+                    n_new_events += 1
 
         facts_by_key: dict[tuple[str, FluentKey], list[FluentFact]] = (
             defaultdict(list)
@@ -258,7 +371,10 @@ class RTEC:
         )
 
         snapshot = RecognitionSnapshot(
-            query_time=q, window_start=window_start, n_events=n_events
+            query_time=q,
+            window_start=window_start,
+            n_events=n_events,
+            n_new_events=n_new_events,
         )
         t0 = _time.process_time()
         for definition in self._definitions:
@@ -270,11 +386,21 @@ class RTEC:
                 ctx._store_occurrences(definition.name, occurrences)
                 snapshot.occurrences[definition.name] = occurrences
             elif isinstance(definition, ValuedFluent):
-                intervals = self._evaluate_valued(definition, ctx)
+                intervals = self._valued_intervals(
+                    definition.name,
+                    ctx,
+                    definition.initiations(ctx),
+                    definition.terminations(ctx),
+                )
                 ctx._store_fluent(definition.name, intervals)
                 snapshot.fluents[definition.name] = intervals
             elif isinstance(definition, SimpleFluent):
-                intervals = self._evaluate_simple(definition, ctx)
+                intervals = self._simple_intervals(
+                    definition.name,
+                    ctx,
+                    definition.initiations(ctx),
+                    definition.terminations(ctx),
+                )
                 ctx._store_fluent(definition.name, intervals)
                 snapshot.fluents[definition.name] = intervals
             elif isinstance(definition, StaticFluent):
@@ -292,11 +418,554 @@ class RTEC:
         self._prune(window_start)
         return snapshot
 
-    def _evaluate_simple(
-        self, definition: SimpleFluent, ctx: RuleContext
+    # -- incremental mode ----------------------------------------------
+    def _query_incremental(self, q: int) -> RecognitionSnapshot:
+        window_start = q - self.window
+        previous = self._last_query
+
+        new_events, new_facts = self._wm.admit(q, window_start)
+        self._wm.evict(window_start)
+        if previous is not None:
+            # Delayed SDEs: first seen now, but occurred inside the
+            # previous window's overlap — they invalidate cached points.
+            late_events = [ev for ev in new_events if ev.time <= previous]
+            late_facts = [f for f in new_facts if f.time <= previous]
+        else:
+            late_events = []
+            late_facts = []
+
+        events_by_type: dict[str, list[Event]] = {}
+        n_events = 0
+        for etype, column in self._wm.events.items():
+            if column.items:
+                events_by_type[etype] = column.items
+                n_events += len(column.items)
+        facts_by_key: dict[tuple[str, FluentKey], list[FluentFact]] = {}
+        fact_times: dict[tuple[str, FluentKey], list[int]] = {}
+        for fkey, column in self._wm.facts.items():
+            if column.items:
+                facts_by_key[fkey] = column.items
+                fact_times[fkey] = column.times
+
+        ctx = RuleContext(
+            window_start=window_start,
+            window_end=q,
+            events=events_by_type,
+            facts=facts_by_key,
+            params=self.params,
+            fact_times=fact_times,
+        )
+
+        snapshot = RecognitionSnapshot(
+            query_time=q,
+            window_start=window_start,
+            n_events=n_events,
+            n_new_events=len(new_events),
+        )
+        #: restricted contexts built this query, shared across
+        #: definitions keyed by their (lo, hi] input range.
+        range_contexts: dict[tuple[int, int], RuleContext] = {}
+        #: dirty-grounding contexts built this query, shared across
+        #: definitions with identical declared inputs (and hence
+        #: identical per-token slices of the working memory).
+        token_contexts: dict[Hashable, RuleContext] = {}
+        #: occurrence-time arrays per already-evaluated derived event,
+        #: for bisecting upstream slices into restricted contexts.
+        occ_times: dict[str, list[int]] = {}
+        overlap_lo = window_start + 1
+
+        t0 = _time.process_time()
+        for definition in self._definitions:
+            d0 = _time.process_time()
+            name = definition.name
+            state = self._states.get(name)
+            if state is None:
+                state = self._states[name] = DefinitionState()
+
+            if isinstance(definition, StaticFluent):
+                # Statically-determined fluents are pure interval
+                # algebra over their dependencies — recomputed in full
+                # (the algebra is cheap; the expensive part is the
+                # point derivation upstream, which *is* cached).
+                out = dict(definition.derive(ctx))
+                ctx._store_fluent(name, out)
+                snapshot.fluents[name] = out
+                state.changed = (
+                    []
+                    if previous is None or name not in self._consumed
+                    else changed_interval_ranges(
+                        state.prev_out or {}, out, overlap_lo, previous
+                    )
+                )
+                state.prev_out = out
+                state.streams = None
+            elif isinstance(definition, DerivedEvent):
+                old = state.streams
+                streams = self._definition_streams(
+                    definition, state, ctx, q, window_start, previous,
+                    late_events, late_facts, snapshot, range_contexts,
+                    token_contexts, occ_times,
+                )
+                occurrences = sorted(
+                    streams["occ"], key=lambda o: (o.time, o.key)
+                )
+                streams["occ"] = occurrences
+                ctx._store_occurrences(name, occurrences)
+                snapshot.occurrences[name] = occurrences
+                if previous is None or name not in self._consumed:
+                    state.changed = []
+                elif old is None:
+                    state.changed = [(overlap_lo, previous)]
+                else:
+                    state.changed = changed_point_ranges(
+                        (
+                            (_occurrence_token(o), o.time)
+                            for o in old["occ"]
+                            if window_start < o.time <= previous
+                        ),
+                        (
+                            (_occurrence_token(o), o.time)
+                            for o in occurrences
+                            if o.time <= previous
+                        ),
+                        overlap_lo,
+                        previous,
+                    )
+                state.streams = streams
+            else:  # SimpleFluent / ValuedFluent
+                streams = self._definition_streams(
+                    definition, state, ctx, q, window_start, previous,
+                    late_events, late_facts, snapshot, range_contexts,
+                    token_contexts, occ_times,
+                )
+                if isinstance(definition, ValuedFluent):
+                    out = self._valued_intervals(
+                        name, ctx, streams["init"], streams["term"]
+                    )
+                elif isinstance(definition, SimpleFluent):
+                    out = self._simple_intervals(
+                        name, ctx, streams["init"], streams["term"]
+                    )
+                else:  # pragma: no cover - guarded by the type system
+                    raise TypeError(
+                        f"unknown definition type: {definition!r}"
+                    )
+                ctx._store_fluent(name, out)
+                snapshot.fluents[name] = out
+                state.changed = (
+                    []
+                    if previous is None or name not in self._consumed
+                    else changed_interval_ranges(
+                        state.prev_out or {}, out, overlap_lo, previous
+                    )
+                )
+                state.prev_out = out
+                state.streams = streams
+            snapshot.per_definition[name] = _time.process_time() - d0
+        snapshot.elapsed = _time.process_time() - t0
+
+        self._last_query = q
+        return snapshot
+
+    @staticmethod
+    def _extract_streams(
+        definition: Definition, ctx: RuleContext
+    ) -> dict[str, list[Any]]:
+        """Run a definition's rule bodies, as point streams."""
+        if isinstance(definition, DerivedEvent):
+            return {"occ": list(definition.occurrences(ctx))}
+        return {
+            "init": list(definition.initiations(ctx)),
+            "term": list(definition.terminations(ctx)),
+        }
+
+    @staticmethod
+    def _stream_times(definition: Definition):
+        """Per-stream accessors for a point's time coordinate."""
+        if isinstance(definition, DerivedEvent):
+            occ_time = lambda pt: pt.time  # noqa: E731
+            return {"occ": occ_time}
+        if isinstance(definition, ValuedFluent):
+            triple_time = lambda pt: pt[2]  # noqa: E731
+            return {"init": triple_time, "term": triple_time}
+        pair_time = lambda pt: pt[1]  # noqa: E731
+        return {"init": pair_time, "term": pair_time}
+
+    def _definition_streams(
+        self,
+        definition: Definition,
+        state: DefinitionState,
+        ctx: RuleContext,
+        q: int,
+        window_start: int,
+        previous: Optional[int],
+        late_events: list[Event],
+        late_facts: list[FluentFact],
+        snapshot: RecognitionSnapshot,
+        range_contexts: dict[tuple[int, int], RuleContext],
+        token_contexts: dict[Hashable, RuleContext],
+        occ_times: dict[str, list[int]],
+    ) -> dict[str, list[Any]]:
+        """This query's output points, reusing the previous query's
+        where the definition's incremental contract proves them stable.
+
+        The window splits into three regions around the cached points:
+
+        * a *head* ``(window_start, window_start + lookback)`` whose
+          points saw deeper history last query than the new window
+          retains — re-derived against the truncated window, exactly
+          as the legacy engine would;
+        * a *middle* ``[window_start + lookback, previous - lookahead]``
+          reused from the cache, minus invalidated *bands* (widened
+          time ranges around late arrivals and upstream output
+          changes) and *dirty groundings* (partitioned definitions
+          re-derive only the groundings a late arrival touched);
+        * a *tail* ``(previous - lookahead, q]`` covering the new data,
+          plus the points whose lookahead now reaches inputs that did
+          not exist at the previous query.
+        """
+        spec = self._specs.get(definition.name)
+        cacheable = (
+            spec is not None
+            and spec.lookback is not None
+            and previous is not None
+            and state.streams is not None
+        )
+        if cacheable:
+            lookback = spec.lookback
+            lookahead = spec.lookahead
+            reuse_lo = window_start + max(lookback, 1)
+            reuse_hi = previous - lookahead
+            if reuse_lo > reuse_hi:
+                # The overlap is thinner than the dependency horizon:
+                # nothing cached is provably stable.
+                cacheable = False
+        if not cacheable:
+            if spec is not None and spec.lookback is not None:
+                snapshot.cache_misses += 1
+            return self._extract_streams(definition, ctx)
+
+        # -- what changed since the previous query -----------------
+        partitioned = spec.partitioned
+        changed_ranges: list[TimeRange] = []
+        dirty: set[Hashable] = set()
+        for dep in definition.depends_on:
+            dep_state = self._states.get(dep)
+            if dep_state is not None:
+                changed_ranges.extend(dep_state.changed)
+        for ev in late_events:
+            if ev.type in spec.event_types:
+                if partitioned:
+                    dirty.add(spec.event_partition[ev.type](ev))
+                else:
+                    changed_ranges.append((ev.time, ev.time))
+        for fact in late_facts:
+            if fact.name in spec.fact_names:
+                if partitioned:
+                    dirty.add(spec.fact_partition[fact.name](fact))
+                else:
+                    changed_ranges.append((fact.time, fact.time))
+        # An input change at t affects points whose dependency band
+        # (t - lookback, t + lookahead] contains it.
+        bands = merge_ranges(
+            ((a - lookahead, b + lookback) for a, b in changed_ranges),
+            reuse_lo,
+            reuse_hi,
+        )
+        snapshot.cache_hits += 1
+        if bands or dirty:
+            snapshot.cache_invalidations += 1
+
+        segments: list[TimeRange] = []
+        if lookback > 1:
+            segments.append((window_start + 1, window_start + lookback - 1))
+        segments.extend(bands)
+        segments.append((reuse_hi + 1, q))
+        segments = merge_ranges(segments, window_start + 1, q)
+
+        band_set = RangeSet(bands)
+        point_token = spec.point_partition
+        times = self._stream_times(definition)
+        out: dict[str, list[Any]] = {s: [] for s in state.streams}
+
+        # Middle: reuse cached points outside the invalidated bands.
+        # The loops are specialised per definition kind — a cached
+        # window holds thousands of points and a per-point accessor
+        # call would dominate the reuse path it exists to avoid.
+        quiet = not bands and not dirty
+        derived = isinstance(definition, DerivedEvent)
+        t_index = 2 if isinstance(definition, ValuedFluent) else 1
+        for sname, cached_points in state.streams.items():
+            kept = out[sname]
+            if derived:
+                # Occurrence streams are cached (time, key)-sorted, so
+                # the reusable range is a binary-searched slice.
+                lo_i = bisect.bisect_left(
+                    cached_points, reuse_lo, key=_occurrence_time
+                )
+                hi_i = bisect.bisect_right(
+                    cached_points, reuse_hi, lo=lo_i, key=_occurrence_time
+                )
+                if quiet:
+                    out[sname] = cached_points[lo_i:hi_i]
+                    continue
+                if not bands:
+                    for pt in cached_points[lo_i:hi_i]:
+                        if point_token(pt) not in dirty:
+                            kept.append(pt)
+                    continue
+                for pt in cached_points[lo_i:hi_i]:
+                    if pt.time in band_set:
+                        continue
+                    if dirty and point_token(pt) in dirty:
+                        continue
+                    kept.append(pt)
+                continue
+            if quiet:
+                # Nothing invalidated: only the time range filters.
+                for pt in cached_points:
+                    if reuse_lo <= pt[t_index] <= reuse_hi:
+                        kept.append(pt)
+                continue
+            if not bands:
+                # Only dirty groundings (the common case for
+                # partitioned specs): no band probe per point.
+                for pt in cached_points:
+                    if (
+                        reuse_lo <= pt[t_index] <= reuse_hi
+                        and point_token(pt) not in dirty
+                    ):
+                        kept.append(pt)
+                continue
+            for pt in cached_points:
+                t = pt[t_index]
+                if t < reuse_lo or t > reuse_hi or t in band_set:
+                    continue
+                if dirty and point_token(pt) in dirty:
+                    continue
+                kept.append(pt)
+
+        # Head, bands and tail: re-derive against a restricted context
+        # that contains every input a point in the segment can see.
+        for a, b in segments:
+            rctx = self._range_context(
+                max(a - lookback, window_start),
+                min(b + lookahead, q),
+                ctx,
+                range_contexts,
+            )
+            self._inject_upstream(rctx, definition, ctx, occ_times)
+            extracted = self._extract_streams(definition, rctx)
+            for sname, points in extracted.items():
+                time_of = times[sname]
+                kept = out[sname]
+                for pt in points:
+                    t = time_of(pt)
+                    if t < a or t > b:
+                        continue
+                    if dirty and point_token(pt) in dirty:
+                        continue
+                    kept.append(pt)
+
+        # Dirty groundings: re-derive them over the whole window from
+        # a context restricted to their own inputs.
+        if dirty:
+            rctx = self._token_context(
+                spec, dirty, window_start, q, ctx, token_contexts
+            )
+            self._inject_upstream(rctx, definition, ctx, occ_times)
+            extracted = self._extract_streams(definition, rctx)
+            for sname, points in extracted.items():
+                kept = out[sname]
+                for pt in points:
+                    if point_token(pt) in dirty:
+                        kept.append(pt)
+        return out
+
+    def _range_context(
+        self,
+        lo: int,
+        hi: int,
+        ctx: RuleContext,
+        range_contexts: dict[tuple[int, int], RuleContext],
+    ) -> RuleContext:
+        """A context over the inputs with occurrence time in
+        ``(lo, hi]``, sharing the full context's fluent results."""
+        rctx = range_contexts.get((lo, hi))
+        if rctx is not None:
+            return rctx
+        events: dict[str, list[Event]] = {}
+        for etype, column in self._wm.events.items():
+            i, j = column.bounds(lo, hi)
+            if i < j:
+                events[etype] = column.items[i:j]
+        facts: dict[tuple[str, FluentKey], list[FluentFact]] = {}
+        fact_times: dict[tuple[str, FluentKey], list[int]] = {}
+        for fkey, column in self._wm.facts.items():
+            i, j = column.bounds(lo, hi)
+            if i < j:
+                facts[fkey] = column.items[i:j]
+                fact_times[fkey] = column.times[i:j]
+        rctx = RuleContext(
+            window_start=lo,
+            window_end=hi,
+            events=events,
+            facts=facts,
+            params=self.params,
+            fact_times=fact_times,
+        )
+        rctx._fluents = ctx._fluents
+        range_contexts[(lo, hi)] = rctx
+        return rctx
+
+    def _token_context(
+        self,
+        spec: IncrementalSpec,
+        dirty: set[Hashable],
+        window_start: int,
+        q: int,
+        ctx: RuleContext,
+        token_contexts: dict[Hashable, RuleContext],
+    ) -> RuleContext:
+        """A full-window context restricted to the declared input types,
+        filtered down to the dirty groundings.
+
+        Definitions declaring the same inputs (same types, same
+        partition functions — e.g. the paper's ``disagree`` / ``agree``
+        pair over per-bus ``move``/``gps`` reports) select identical
+        slices for identical dirty sets, so the context is shared
+        between them within one query; the keying deliberately ignores
+        ``point_partition``, which only labels *outputs*.
+        """
+        cache_key = (
+            tuple(
+                sorted(
+                    (t, id(spec.event_partition[t]))
+                    for t in spec.event_types
+                )
+            ),
+            tuple(
+                sorted(
+                    (n, id(spec.fact_partition[n]))
+                    for n in spec.fact_names
+                )
+            ),
+            frozenset(dirty),
+        )
+        cached = token_contexts.get(cache_key)
+        if cached is not None:
+            return cached
+        events: dict[str, list[Event]] = {}
+        for etype in spec.event_types:
+            token_of = spec.event_partition[etype]
+            groups = self._wm.event_groups.get((etype, id(token_of)))
+            if groups is not None:
+                # Pre-grouped by the working memory: concatenate the
+                # dirty tokens' columns (merging restores (time, seq)
+                # order when several tokens are dirty at once).
+                columns = [
+                    groups[token] for token in dirty if token in groups
+                ]
+                if len(columns) == 1:
+                    selected = columns[0].items[:]
+                else:
+                    selected = [
+                        item
+                        for _, item in sorted(
+                            pair
+                            for column in columns
+                            for pair in zip(column.order, column.items)
+                        )
+                    ]
+                if selected:
+                    events[etype] = selected
+                continue
+            column = self._wm.events.get(etype)
+            if column is None:
+                continue
+            selected = [ev for ev in column.items if token_of(ev) in dirty]
+            if selected:
+                events[etype] = selected
+        facts: dict[tuple[str, FluentKey], list[FluentFact]] = {}
+        fact_times: dict[tuple[str, FluentKey], list[int]] = {}
+        grouped_names = set()
+        for fname in spec.fact_names:
+            token_of = spec.fact_partition[fname]
+            groups = self._wm.fact_groups.get((fname, id(token_of)))
+            if groups is None:
+                continue
+            grouped_names.add(fname)
+            merged: dict[tuple[str, FluentKey], list] = {}
+            for token in dirty:
+                by_key = groups.get(token)
+                if not by_key:
+                    continue
+                for key, column in by_key.items():
+                    merged.setdefault((fname, key), []).append(column)
+            for fkey, columns in merged.items():
+                if len(columns) == 1:
+                    facts[fkey] = columns[0].items[:]
+                    fact_times[fkey] = columns[0].times[:]
+                else:
+                    pairs = sorted(
+                        pair
+                        for column in columns
+                        for pair in zip(column.order, column.items)
+                    )
+                    facts[fkey] = [item for _, item in pairs]
+                    fact_times[fkey] = [order[0] for order, _ in pairs]
+        for fkey, column in self._wm.facts.items():
+            if fkey[0] not in spec.fact_names or fkey[0] in grouped_names:
+                continue
+            token_of = spec.fact_partition[fkey[0]]
+            selected = [f for f in column.items if token_of(f) in dirty]
+            if selected:
+                facts[fkey] = selected
+                fact_times[fkey] = [f.time for f in selected]
+        rctx = RuleContext(
+            window_start=window_start,
+            window_end=q,
+            events=events,
+            facts=facts,
+            params=self.params,
+            fact_times=fact_times,
+        )
+        rctx._fluents = ctx._fluents
+        token_contexts[cache_key] = rctx
+        return rctx
+
+    def _inject_upstream(
+        self,
+        rctx: RuleContext,
+        definition: Definition,
+        ctx: RuleContext,
+        occ_times: dict[str, list[int]],
+    ) -> None:
+        """Expose this query's upstream derived events to a restricted
+        context, sliced to its ``(lo, hi]`` range."""
+        for dep in definition.depends_on:
+            if dep in rctx._occurrences:
+                continue
+            occurrences = ctx._occurrences.get(dep)
+            if occurrences is None:
+                continue  # a fluent or raw-input dependency
+            dep_times = occ_times.get(dep)
+            if dep_times is None:
+                dep_times = occ_times[dep] = [o.time for o in occurrences]
+            i = bisect.bisect_right(dep_times, rctx.window_start)
+            j = bisect.bisect_right(dep_times, rctx.window_end)
+            rctx._store_occurrences(dep, occurrences[i:j])
+
+    # -- fluent interval assembly (shared by both modes) ---------------
+    def _simple_intervals(
+        self,
+        name: str,
+        ctx: RuleContext,
+        init_points: Iterable[tuple[FluentKey, int]],
+        term_points: Iterable[tuple[FluentKey, int]],
     ) -> dict[FluentKey, IntervalList]:
-        """Evaluate a simple fluent: collect initiation/termination
-        points, seed inertia from the cache, build maximal intervals.
+        """Build a simple fluent's maximal intervals from its
+        initiation/termination points, seeding inertia from the cache.
 
         The seed is the fluent's value at the *first time-point of the
         new window* (``window_start + EFFECT_DELAY``): events at or
@@ -309,25 +978,23 @@ class RTEC:
         """
         inits: dict[FluentKey, list[int]] = defaultdict(list)
         terms: dict[FluentKey, list[int]] = defaultdict(list)
-        for key, t in definition.initiations(ctx):
+        for key, t in init_points:
             inits[key].append(t)
-        for key, t in definition.terminations(ctx):
+        for key, t in term_points:
             terms[key].append(t)
 
         seed_point = ctx.window_start + EFFECT_DELAY
+        cache = self._fluent_cache.setdefault(name, {})
         keys = set(inits) | set(terms)
         # Keys quiescent in this window persist by inertia if their
         # cached intervals still hold at the seed point.
-        for (name, key), cached in self._fluent_cache.items():
-            if name == definition.name and key not in keys:
-                if cached.holds_at(seed_point):
-                    keys.add(key)
+        for key, cached in cache.items():
+            if key not in keys and cached.holds_at(seed_point):
+                keys.add(key)
 
         out: dict[FluentKey, IntervalList] = {}
         for key in keys:
-            cached = self._fluent_cache.get(
-                (definition.name, key), IntervalList.empty()
-            )
+            cached = cache.get(key, IntervalList.empty())
             seed_interval = cached.interval_at(seed_point)
             intervals = make_intervals(
                 inits.get(key, ()),
@@ -339,15 +1006,21 @@ class RTEC:
                     else ctx.window_start
                 ),
             )
-            self._fluent_cache[(definition.name, key)] = intervals
             if intervals:
+                cache[key] = intervals
                 out[key] = intervals
+            else:
+                cache.pop(key, None)
         return out
 
-    def _evaluate_valued(
-        self, definition: ValuedFluent, ctx: RuleContext
+    def _valued_intervals(
+        self,
+        name: str,
+        ctx: RuleContext,
+        init_points: Iterable[tuple[FluentKey, Any, int]],
+        term_points: Iterable[tuple[FluentKey, Any, int]],
     ) -> dict[FluentKey, IntervalList]:
-        """Evaluate a multi-valued fluent.
+        """Build a multi-valued fluent's intervals from its points.
 
         A grounding holds one value at a time: initiating ``F = V``
         implicitly terminates the previously held value.  Results (and
@@ -357,17 +1030,18 @@ class RTEC:
         """
         inits: dict[FluentKey, list[tuple[int, Any]]] = defaultdict(list)
         terms: dict[FluentKey, set[tuple[int, Any]]] = defaultdict(set)
-        for key, value, t in definition.initiations(ctx):
+        for key, value, t in init_points:
             inits[key].append((t, value))
-        for key, value, t in definition.terminations(ctx):
+        for key, value, t in term_points:
             terms[key].add((t, value))
 
         seed_point = ctx.window_start + EFFECT_DELAY
+        cache = self._fluent_cache.setdefault(name, {})
         base_keys = set(inits) | set(terms)
         cached_by_base: dict[FluentKey, list[tuple[FluentKey, IntervalList]]]
         cached_by_base = defaultdict(list)
-        for (name, stored_key), cached in self._fluent_cache.items():
-            if name == definition.name and stored_key:
+        for stored_key, cached in cache.items():
+            if stored_key:
                 cached_by_base[stored_key[:-1]].append((stored_key, cached))
                 if cached.holds_at(seed_point):
                     base_keys.add(stored_key[:-1])
@@ -385,20 +1059,17 @@ class RTEC:
                     state_start = seed_interval[0]
                     break
 
-            points = sorted(
-                {t for t, _ in inits.get(key, ())}
-                | {t for t, _ in terms.get(key, ())}
-            )
+            inits_by_t: dict[int, list[Any]] = defaultdict(list)
+            for t, value in inits.get(key, ()):
+                inits_by_t[t].append(value)
+            key_terms = terms.get(key, set())
+            points = sorted(inits_by_t.keys() | {t for t, _ in key_terms})
             spans: dict[Any, list[tuple[int, Optional[int]]]] = defaultdict(
                 list
             )
             for t in points:
-                terminated = (
-                    state is not None and (t, state) in terms.get(key, set())
-                )
-                initiated = sorted(
-                    v for pt, v in inits.get(key, ()) if pt == t
-                )
+                terminated = state is not None and (t, state) in key_terms
+                initiated = sorted(inits_by_t.get(t, ()))
                 new_state = state
                 if terminated:
                     new_state = None
@@ -417,16 +1088,12 @@ class RTEC:
             # Refresh the cache for every previously known value of this
             # grounding, then store the new spans.
             for stored_key, _ in cached_by_base.get(key, ()):
-                self._fluent_cache[(definition.name, stored_key)] = (
-                    IntervalList.empty()
-                )
+                cache.pop(stored_key, None)
             for value, intervals in spans.items():
                 extended = key + (value,)
                 interval_list = IntervalList(intervals)
-                self._fluent_cache[(definition.name, extended)] = (
-                    interval_list
-                )
                 if interval_list:
+                    cache[extended] = interval_list
                     out[extended] = interval_list
         return out
 
@@ -436,7 +1103,9 @@ class RTEC:
         Inspection API for operators/tests between query times; for
         valued fluents pass the extended ``key + (value,)`` grounding.
         """
-        return self._fluent_cache.get((name, tuple(key)), IntervalList.empty())
+        return self._fluent_cache.get(name, {}).get(
+            tuple(key), IntervalList.empty()
+        )
 
     def currently_holds(self, name: str, key: FluentKey) -> bool:
         """Whether the fluent was holding at the last query time

@@ -50,14 +50,22 @@ class RuleContext:
         events: Mapping[str, Sequence[Event]],
         facts: Mapping[tuple[str, FluentKey], Sequence[FluentFact]],
         params: Mapping[str, Any],
+        fact_times: Optional[
+            Mapping[tuple[str, FluentKey], Sequence[int]]
+        ] = None,
     ):
         self.window_start = window_start
         self.window_end = window_end
         self._events = events
         self._facts = facts
-        self._fact_times: dict[tuple[str, FluentKey], list[int]] = {
-            k: [f.time for f in fs] for k, fs in facts.items()
-        }
+        # The incremental engine slices facts out of its time-indexed
+        # working memory and passes the matching time arrays along;
+        # otherwise derive them here.
+        self._fact_times: Mapping[tuple[str, FluentKey], Sequence[int]] = (
+            fact_times
+            if fact_times is not None
+            else {k: [f.time for f in fs] for k, fs in facts.items()}
+        )
         self._params = params
         self._occurrences: dict[str, list[Occurrence]] = {}
         self._fluents: dict[str, dict[FluentKey, IntervalList]] = {}
@@ -164,6 +172,17 @@ class Definition(abc.ABC):
     def __init__(self, name: str, depends_on: Iterable[str] = ()):
         self.name = name
         self.depends_on = tuple(depends_on)
+
+    def incremental_spec(self, params: Mapping[str, Any]):
+        """Declare how output points depend on raw inputs (or ``None``).
+
+        Returning an :class:`repro.core.incremental.IncrementalSpec`
+        lets the incremental engine reuse this definition's cached
+        points across overlapping windows; the default ``None`` keeps
+        the definition on the full-recompute path, which is always
+        semantically safe.
+        """
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name!r})"

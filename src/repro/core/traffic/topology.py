@@ -61,6 +61,11 @@ class ScatsTopology:
         self._grid = SpatialGrid(close_radius_m, ref_lat)
         for inter in self._by_id.values():
             self._grid.insert(inter.id, inter.lon, inter.lat)
+        #: Memoised ``close`` lookups.  Bus positions repeat across
+        #: overlapping windows (and across the restricted contexts of
+        #: the incremental engine), so the topology keeps the answer
+        #: per position instead of re-probing the spatial grid.
+        self._near_cache: dict[tuple[float, float], list[str]] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -110,7 +115,15 @@ class ScatsTopology:
     def intersections_close_to(self, lon: float, lat: float) -> list[str]:
         """Ids of intersections the point is ``close`` to (the paper's
         ``close`` predicate against every intersection)."""
-        return list(self._grid.near(lon, lat))
+        key = (lon, lat)
+        hit = self._near_cache.get(key)
+        if hit is None:
+            if len(self._near_cache) >= 65536:
+                # Positions are effectively finite per deployment; the
+                # cap only guards unbounded synthetic streams.
+                self._near_cache.clear()
+            hit = self._near_cache[key] = list(self._grid.near(lon, lat))
+        return hit
 
     def nearest_intersection(
         self, lon: float, lat: float

@@ -68,6 +68,20 @@ class RtecProcessor(Processor):
             self.engine.feed(events=[item_to_event(item)])
         return self._recognise_until(arrival)
 
+    def advance(self, now: int) -> ProcessorResult:
+        """Clock hook: run query times that fell strictly before ``now``.
+
+        Keeps recognition flowing while this region's own input is
+        silent but the merged stream's clock advances.  Only queries
+        ``< now`` run here — a query at exactly ``now`` must wait for
+        the items arriving at ``now`` to be fed first (the runtime
+        fires the hook before delivering them), and :meth:`process`
+        runs it afterwards.  The recognised output is identical either
+        way: an SDE arriving at ``now`` is never admitted to a query
+        time before ``now``.
+        """
+        return self._recognise_until(now - 1)
+
     def flush(self, until: int) -> list[DataItem]:
         """Run any outstanding query times up to ``until`` (end of
         stream)."""

@@ -70,6 +70,7 @@ def build_paper_topology(
     noisy_variant: str = "crowd",
     n_participants: int = 40,
     seed: int = 0,
+    incremental: bool = True,
 ) -> PaperTopology:
     """Assemble the Section 3 data-flow graph for a generated stream.
 
@@ -136,6 +137,7 @@ def build_paper_topology(
             window=window,
             step=step,
             params=params,
+            incremental=incremental,
         )
         engines[region] = engine
         rtec_processors[region] = RtecProcessor(engine)
