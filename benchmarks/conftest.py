@@ -14,6 +14,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.ioutils import atomic_write_text
 from repro.system import SystemConfig
 
 OUT_DIR = Path(__file__).resolve().parent / "out"
@@ -37,7 +38,7 @@ def write_series(name: str, text: str) -> Path:
     """Persist a printed series under ``benchmarks/out/``."""
     OUT_DIR.mkdir(exist_ok=True)
     path = OUT_DIR / name
-    path.write_text(text, encoding="utf-8")
+    atomic_write_text(path, text)
     return path
 
 

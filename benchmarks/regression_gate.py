@@ -286,7 +286,11 @@ def main(argv: list[str] | None = None) -> int:
         "info": info,
         "regressions": regressions,
     }
-    args.out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    # Atomic replace: a crash (or Ctrl-C) mid-write must not corrupt
+    # the committed baseline file.
+    tmp = args.out.with_name(args.out.name + ".tmp")
+    tmp.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, args.out)
 
     if record:
         print(f"recorded baseline for {len(latest)} benchmarks -> {args.out}")

@@ -152,13 +152,56 @@ def _system_config_from(args: argparse.Namespace) -> SystemConfig:
         mapping["parallel_regions"] = True
     if getattr(args, "faults", None):
         mapping["fault_profile"] = args.faults
+    if getattr(args, "checkpoint_interval", None):
+        mapping["checkpoint_interval"] = args.checkpoint_interval
     return SystemConfig.from_mapping(mapping)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    scenario = _scenario_from(args)
-    system = UrbanTrafficSystem(scenario, _system_config_from(args))
-    report = system.run(0, args.duration)
+    from .recovery import CheckpointCoordinator
+
+    if args.resume:
+        # Everything — scenario, config, stream position — comes from
+        # the checkpoint directory; the scenario arguments are ignored.
+        coordinator = CheckpointCoordinator(
+            args.resume, interval=args.checkpoint_interval or None
+        )
+        system, state = coordinator.restore_latest()
+        if state is None:
+            # Newest checkpoint is the pre-generation baseline: re-run
+            # from the top (generation is deterministic from the
+            # checkpointed RNG state).
+            start, end = coordinator.restored_span
+            report = system.run(start, end, recovery=coordinator)
+            duration = end
+        else:
+            report = system.resume_from(state, coordinator)
+            duration = state.end
+        counters = report.metrics.get("counters", {})
+        print(
+            f"resumed from {args.resume} at step {coordinator.last_checkpoint.step} "
+            f"(replayed {counters.get('recovery.replay.steps', 0):.0f} "
+            f"journalled step(s), "
+            f"{counters.get('recovery.replay.items', 0):.0f} stream item(s))"
+        )
+        print()
+    else:
+        scenario = _scenario_from(args)
+        system = UrbanTrafficSystem(scenario, _system_config_from(args))
+        duration = args.duration
+        if args.checkpoint_dir:
+            coordinator = CheckpointCoordinator(args.checkpoint_dir)
+            report = system.run(0, duration, recovery=coordinator)
+            counters = report.metrics.get("counters", {})
+            print(
+                f"checkpointed to {args.checkpoint_dir}: "
+                f"{counters.get('recovery.checkpoint.writes', 0):.0f} "
+                f"checkpoint(s), every "
+                f"{system.config.checkpoint_interval} step(s)"
+            )
+            print()
+        else:
+            report = system.run(0, duration)
     print(report.console.render(limit=args.alerts))
     print()
     print(report.console.render_summary())
@@ -175,7 +218,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"  {line}")
     if args.map:
         print()
-        print(system.render_city_map(args.duration))
+        print(system.render_city_map(duration))
     return 0
 
 
@@ -262,9 +305,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
     print(_render_metrics(registry))
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as fh:
-            fh.write(registry.to_json(indent=2))
-            fh.write("\n")
+        registry.write_json(args.json)
         print(f"wrote {args.json}")
     return 0
 
@@ -462,6 +503,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--legacy", action="store_true",
         help="disable incremental recognition (recompute per window)",
     )
+    run.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="checkpoint the pipeline into DIR every "
+        "checkpoint-interval steps (see docs/recovery.md)",
+    )
+    run.add_argument(
+        "--checkpoint-interval", type=int, default=None, metavar="N",
+        help="recognition steps between checkpoints "
+        "(default: SystemConfig.checkpoint_interval)",
+    )
+    run.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="restore the latest valid checkpoint in DIR and run to "
+        "completion (scenario arguments are ignored)",
+    )
     run.set_defaults(fn=_cmd_run)
 
     metrics = subparsers.add_parser(
@@ -550,11 +606,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     inputs, ...) are reported as one-line messages with exit code 2
     instead of tracebacks.
     """
+    from .recovery import CheckpointError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
-    except (ValueError, OSError, KeyError) as exc:
+    except (ValueError, OSError, KeyError, CheckpointError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

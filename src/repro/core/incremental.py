@@ -38,16 +38,41 @@ engine.
 from __future__ import annotations
 
 import bisect
+import contextlib
+import contextvars
 import sys
 from collections import Counter
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Optional
 
-from .events import Event, FluentFact, FluentKey
+from .events import Event, FluentFact, FluentKey, from_row, to_row
 from .intervals import IntervalList
 
 _MAX_SEQ = sys.maxsize
+
+#: When set, :meth:`WorkingMemory.__getstate__` omits the pending
+#: entries of the *initial input stream* (everything buffered before
+#: :meth:`WorkingMemory.mark_stream_boundary`) — they are regenerable,
+#: and re-serialising the whole future stream at every checkpoint is
+#: what would make checkpointing cost O(run length) per write.  The
+#: flag is scoped to the checkpoint writer; any other pickling of a
+#: working memory (e.g. shipping engines to process-pool workers)
+#: keeps the full buffer.
+_STREAMLESS = contextvars.ContextVar("wm_streamless_pickle", default=False)
+
+
+@contextlib.contextmanager
+def streamless_checkpoint():
+    """Within this context, pickling a :class:`WorkingMemory` drops the
+    regenerable initial-stream part of its pending buffer (see
+    :data:`_STREAMLESS`).  Used by the checkpoint coordinator; restore
+    goes through :meth:`WorkingMemory.refill_stream`."""
+    token = _STREAMLESS.set(True)
+    try:
+        yield
+    finally:
+        _STREAMLESS.reset(token)
 
 #: Inclusive integer time range ``[lo, hi]``.
 TimeRange = tuple[int, int]
@@ -152,6 +177,18 @@ class TimedColumn:
             del self.times[:cut]
             del self.items[:cut]
 
+    # Checkpoint fast path: serialise items as compact rows (see
+    # ``events.to_row``) so the pickler stays on its C path; ``times``
+    # is derivable from ``order`` and not stored.
+    def __getstate__(self):
+        return (self.order, [to_row(item) for item in self.items])
+
+    def __setstate__(self, state) -> None:
+        order, rows = state
+        self.order = order
+        self.times = [time for time, _ in order]
+        self.items = [from_row(row) for row in rows]
+
     def bounds(self, lo: int, hi: int) -> tuple[int, int]:
         """Index bounds of the items with time in ``(lo, hi]``."""
         i = bisect.bisect_right(self.order, (lo, _MAX_SEQ))
@@ -193,6 +230,79 @@ class WorkingMemory:
         self._pending: list[tuple[int, int, bool, Any]] = []
         self._pending_sorted = True
         self._seq = 0
+        #: Sequence number of the last item of the *initial input
+        #: stream* (see :meth:`mark_stream_boundary`); 0 means no
+        #: boundary was declared and streamless pickling is disabled.
+        self._stream_seq = 0
+        self._needs_refill = False
+
+    # -- durability ----------------------------------------------------
+    # The per-token sub-indexes are keyed by ``id(partition_fn)``, which
+    # is only meaningful within one process.  Checkpoints therefore
+    # serialise the partition *functions* (module-level callables that
+    # pickle by reference) and rebuild the indexes on restore by
+    # re-registering them against the restored columns — the same
+    # backfill path used when a partition is first declared.
+    def __getstate__(self) -> dict[str, Any]:
+        if _STREAMLESS.get() and self._stream_seq:
+            # Checkpoint fast path: the initial stream (seq <= the
+            # boundary) is regenerable and omitted; only later feeds
+            # (crowd feedback SDEs) travel with the snapshot.  Restore
+            # must go through :meth:`refill_stream`.
+            pending = (
+                "tail",
+                [
+                    (arrival, seq, is_fact, to_row(item))
+                    for arrival, seq, is_fact, item in self._pending
+                    if seq > self._stream_seq
+                ],
+            )
+        else:
+            pending = (
+                "full",
+                [
+                    (arrival, seq, is_fact, to_row(item))
+                    for arrival, seq, is_fact, item in self._pending
+                ],
+            )
+        return {
+            "events": self.events,
+            "facts": self.facts,
+            "event_partitions": {
+                etype: [fn for _, fn in fns]
+                for etype, fns in self._event_partitions.items()
+            },
+            "fact_partitions": {
+                name: [fn for _, fn in fns]
+                for name, fns in self._fact_partitions.items()
+            },
+            "pending": pending,
+            "pending_sorted": self._pending_sorted,
+            "seq": self._seq,
+            "stream_seq": self._stream_seq,
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__init__()
+        self.events = state["events"]
+        self.facts = state["facts"]
+        kind, rows = state["pending"]
+        self._pending = [
+            (arrival, seq, is_fact, from_row(row))
+            for arrival, seq, is_fact, row in rows
+        ]
+        self._pending_sorted = state["pending_sorted"]
+        self._seq = state["seq"]
+        self._stream_seq = state["stream_seq"]
+        #: A ``"tail"`` snapshot is incomplete until
+        #: :meth:`refill_stream` merges the regenerated stream back in.
+        self._needs_refill = kind == "tail"
+        for etype, fns in state["event_partitions"].items():
+            for fn in fns:
+                self.register_event_partition(etype, fn)
+        for name, fns in state["fact_partitions"].items():
+            for fn in fns:
+                self.register_fact_partition(name, fn)
 
     def buffer_event(self, event: Event) -> None:
         """Queue an input SDE until its arrival time is reached."""
@@ -211,6 +321,60 @@ class WorkingMemory:
         if pending and entry < pending[-1]:
             self._pending_sorted = False
         pending.append(entry)
+
+    # -- streamless checkpointing --------------------------------------
+    def mark_stream_boundary(self) -> None:
+        """Declare everything buffered so far to be the *initial input
+        stream*: a deterministic, regenerable sequence the pipeline fed
+        in one pass before the first query.
+
+        A checkpoint written inside :func:`streamless_checkpoint` then
+        omits the not-yet-admitted part of that stream instead of
+        re-serialising the whole future at every interval; restore
+        regenerates it and calls :meth:`refill_stream`.  Items buffered
+        *after* the boundary (crowd feedback SDEs produced mid-run) are
+        not regenerable and always travel with the snapshot.
+        """
+        self._stream_seq = self._seq
+
+    def refill_stream(
+        self,
+        events: Iterable[Event],
+        facts: Iterable[FluentFact],
+        admitted_through: int,
+    ) -> None:
+        """Rebuild the pending entries a streamless checkpoint dropped.
+
+        ``events`` and ``facts`` must be the regenerated initial stream
+        in the exact order it was originally fed (events first, then
+        facts — the order :meth:`repro.core.rtec.RTECEngine.feed`
+        buffers them in), so the re-assigned sequence numbers match the
+        original feed.  Entries that were already admitted by the last
+        query at ``admitted_through`` are dropped — :meth:`admit`
+        consumed them before the checkpoint was taken — and the
+        survivors are merged with the retained post-boundary tail.
+        """
+        entries: list[tuple[int, int, bool, Any]] = []
+        seq = 0
+        for event in events:
+            seq += 1
+            entries.append((event.arrival, seq, False, event))
+        for fact in facts:
+            seq += 1
+            entries.append((fact.arrival, seq, True, fact))
+        if seq != self._stream_seq:
+            raise RuntimeError(
+                f"regenerated stream has {seq} items, the checkpointed "
+                f"boundary says {self._stream_seq} — the scenario did "
+                f"not regenerate deterministically"
+            )
+        entries.sort()
+        del entries[: bisect.bisect_left(entries, (admitted_through + 1,))]
+        entries.extend(self._pending)
+        entries.sort()
+        self._pending = entries
+        self._pending_sorted = True
+        self._needs_refill = False
 
     # -- grounding partitions ------------------------------------------
     def register_event_partition(

@@ -167,6 +167,22 @@ class RTEC:
         working memory and definition outputs are cached across the
         window overlap; ``False`` selects the legacy from-scratch
         evaluation.  Both modes produce identical recognition output.
+
+    Durability
+    ----------
+    Engines are checkpointed by :mod:`repro.recovery` through
+    whole-object pickling.  The contract: all cross-query state — the
+    persistent :class:`~.incremental.WorkingMemory` (including pending
+    SDEs that have not yet *arrived*), the per-definition cached
+    streams/change ranges (:class:`~.incremental.DefinitionState`), the
+    fluent-inertia cache that seeds each window's left edge, and the
+    last query time — must round-trip through pickle such that the
+    restored engine answers every subsequent ``query(q)`` identically
+    to the original.  This requires rule bodies and grounding-partition
+    functions to be module-level callables (pickled by reference, so
+    restored definitions and working-memory indexes share the same
+    function objects); frozen payload mappings are reduced to plain
+    dicts by the event classes' ``__reduce__``.
     """
 
     def __init__(
@@ -301,6 +317,26 @@ class RTEC:
                 appended = True
         if appended:
             self._inputs_sorted = False
+
+    def mark_stream_fed(self) -> None:
+        """Declare the initial input stream fully fed (see
+        :meth:`repro.core.incremental.WorkingMemory.mark_stream_boundary`).
+
+        Checkpoints written in streamless mode then drop the pending
+        part of that stream and regenerate it on restore; SDEs fed
+        after this call (crowd feedback) are snapshotted verbatim.
+        Legacy (non-incremental) engines keep full snapshots and ignore
+        the marker.
+        """
+        if self._wm is not None:
+            self._wm.mark_stream_boundary()
+
+    def refill_stream(self, events, facts, admitted_through: int) -> None:
+        """Rebuild the pending buffer of a streamless checkpoint from
+        the regenerated initial stream (no-op for legacy engines, whose
+        snapshots are always complete)."""
+        if self._wm is not None:
+            self._wm.refill_stream(events, facts, admitted_through)
 
     def _ensure_sorted(self) -> None:
         if not self._inputs_sorted:

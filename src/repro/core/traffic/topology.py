@@ -67,6 +67,16 @@ class ScatsTopology:
         #: per position instead of re-probing the spatial grid.
         self._near_cache: dict[tuple[float, float], list[str]] = {}
 
+    # -- durability ----------------------------------------------------
+    # The memoised ``close`` lookups grow with every distinct bus
+    # position seen — hundreds of kilobytes over a long run — and are
+    # recomputable from the spatial grid on demand.  Checkpoints drop
+    # the cache; the restored topology simply re-warms it.
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_near_cache"] = {}
+        return state
+
     # ------------------------------------------------------------------
     @classmethod
     def from_mappings(

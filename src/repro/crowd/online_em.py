@@ -108,6 +108,34 @@ class OnlineEM:
         """Current ``p_i`` estimate (initial value if never queried)."""
         return self.error_probabilities.get(participant_id, self.initial_error)
 
+    # -- durability ----------------------------------------------------
+    # The estimator is also pickled wholesale inside pipeline
+    # checkpoints (``repro.recovery``); these JSON-able dicts are the
+    # *explicit* contract for what must survive a restart: the ``p_i``
+    # estimates, the per-participant step counts ``t_i`` that drive the
+    # γ schedule, and the peaked-posterior statistics.  The schedule
+    # itself is configuration, not state.
+    def state_dict(self) -> dict:
+        """The estimator's durable state as plain JSON-able data."""
+        return {
+            "error_probabilities": dict(self.error_probabilities),
+            "query_counts": dict(self.query_counts),
+            "peaked_events": self.peaked_events,
+            "total_events": self.total_events,
+        }
+
+    def load_state_dict(self, state: Mapping) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.error_probabilities = {
+            str(k): float(v)
+            for k, v in state["error_probabilities"].items()
+        }
+        self.query_counts = {
+            str(k): int(v) for k, v in state["query_counts"].items()
+        }
+        self.peaked_events = int(state["peaked_events"])
+        self.total_events = int(state["total_events"])
+
     def process(self, answer_set: AnswerSet) -> CrowdEstimate:
         """Process one disagreement event (one loop body of Algorithm 1).
 

@@ -2,10 +2,13 @@
 
 The reproduction's chaos layer: seed-driven drop / delay / duplicate /
 corruption faults on the SDE feeds, worker non-response faults in the
-crowdsourcing engine, and named profiles binding them together.  See
-``docs/robustness.md`` for the operator guide.
+crowdsourcing engine, named profiles binding them together, and crash
+injection (:class:`CrashInjector`) for the recovery subsystem.  See
+``docs/robustness.md`` and ``docs/recovery.md`` for the operator
+guides.
 """
 
+from .crash import CrashInjector, SimulatedCrash
 from .profiles import BOUNDED_DELAY_S, PROFILES, get_profile, list_profiles
 from .spec import (
     CrowdFaults,
@@ -27,4 +30,6 @@ __all__ = [
     "BOUNDED_DELAY_S",
     "get_profile",
     "list_profiles",
+    "CrashInjector",
+    "SimulatedCrash",
 ]

@@ -1,0 +1,60 @@
+"""Atomic file-write helpers.
+
+Every artifact the system persists — metrics exports, HTML reports,
+benchmark baselines, recovery checkpoints — is written through the
+same discipline: serialise to a temporary file in the *destination
+directory* (so the final rename never crosses a filesystem), flush and
+fsync it, then ``os.replace`` it over the target.  A crash at any
+point leaves either the previous complete artifact or a stray ``.tmp``
+file — never a torn half-written target.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Union
+
+PathLike = Union[str, os.PathLike]
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp + ``os.replace``)."""
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(
+    path: PathLike, text: str, *, encoding: str = "utf-8"
+) -> None:
+    """Write ``text`` to ``path`` atomically."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(
+    path: PathLike,
+    obj: Any,
+    *,
+    indent: int = 2,
+    sort_keys: bool = False,
+) -> None:
+    """Serialise ``obj`` as JSON and write it to ``path`` atomically."""
+    atomic_write_text(
+        path, json.dumps(obj, indent=indent, sort_keys=sort_keys) + "\n"
+    )

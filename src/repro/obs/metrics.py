@@ -227,6 +227,13 @@ class Registry:
         """The :meth:`to_dict` export as a JSON document."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
+    def write_json(self, path, indent: Optional[int] = 2) -> None:
+        """Write the :meth:`to_json` document to ``path`` atomically
+        (a crash mid-export never leaves a truncated file)."""
+        from ..ioutils import atomic_write_text
+
+        atomic_write_text(path, self.to_json(indent=indent) + "\n")
+
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Registry":
         """Rebuild a registry from a :meth:`to_dict` export."""

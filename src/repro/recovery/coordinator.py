@@ -1,0 +1,257 @@
+"""The checkpoint coordinator: durability hooks for the pipeline loop.
+
+:class:`CheckpointCoordinator` is handed to
+:meth:`repro.system.pipeline.UrbanTrafficSystem.run` and observes the
+recognition loop:
+
+* ``on_run_start`` writes a baseline checkpoint (step 0) *before the
+  input stream is generated*, so a crash at *any* later point has
+  something to restore.  The pre-generation timing keeps the baseline
+  small and fast — no pending SDEs to serialise — and is safe because
+  generation is deterministic: the snapshot captures the scenario's
+  RNG state and a metrics registry that has not yet counted the
+  generation, so a baseline restore simply re-runs ``run()`` and
+  every generation-time increment happens exactly once;
+* ``begin_step`` journals a write-ahead record of the step about to
+  run (its query time and per-feed admitted-item counts);
+* ``commit_step`` journals the step's completion;
+* ``after_step`` snapshots the whole pipeline every
+  ``checkpoint_interval`` steps and rotates the journal to a fresh
+  segment, so recovery replays at most one segment;
+* ``restore_latest`` loads the newest valid checkpoint (falling back
+  over torn files), accounts the steps to be replayed in the
+  ``recovery.replay.*`` counters, and returns the revived system.
+
+The coordinator only *observes* the run — checkpointing never mutates
+pipeline state, so a run with checkpointing enabled produces exactly
+the output of one without (asserted by the crash-parity tests).
+
+Exactly-once accounting falls out of the snapshot's scope: metrics
+counters, recognition-log dedup sets and crowd estimates are all part
+of the checkpointed object graph, so a replayed step re-applies its
+increments *from the checkpointed values* — the resumed totals equal
+an uninterrupted run's, and already-emitted CE intervals are
+deduplicated by the restored logs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping, Optional
+
+from ..core.incremental import streamless_checkpoint
+from ..obs import Registry
+from .checkpoint import CheckpointError, CheckpointInfo, CheckpointManager
+from .journal import WriteAheadJournal
+
+__all__ = ["CheckpointCoordinator"]
+
+
+class CheckpointCoordinator:
+    """Durability sidecar for one pipeline run directory.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints and journal segments live.  One directory per
+        logical run; resuming reads and continues the same directory.
+    interval:
+        Checkpoint every this many recognition steps.  ``None`` (the
+        default) adopts ``SystemConfig.checkpoint_interval`` from the
+        system the coordinator is attached to.
+    retain:
+        Checkpoints kept on disk (see :class:`CheckpointManager`).
+    crash:
+        Optional :class:`repro.faults.CrashInjector` consulted at the
+        start of every step and during checkpoint writes.
+    """
+
+    def __init__(
+        self,
+        directory,
+        *,
+        interval: Optional[int] = None,
+        retain: int = 3,
+        crash=None,
+    ):
+        if interval is not None and interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.manager = CheckpointManager(directory, retain=retain)
+        self.journal = WriteAheadJournal(directory)
+        self.interval = interval
+        self.crash = crash
+        self.metrics: Optional[Registry] = None
+        self.last_checkpoint: Optional[CheckpointInfo] = None
+        #: ``(start, end)`` of the run a restored *baseline* checkpoint
+        #: belongs to (set by :meth:`restore_latest`; ``None`` when the
+        #: restored checkpoint carries a mid-run state instead).
+        self.restored_span: Optional[tuple[int, int]] = None
+        self._base_step = 0
+        self._resumed = False
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str, amount: float = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def _journal(self, record) -> None:
+        """Append one journal record, timed under
+        ``recovery.journal.seconds`` — together with
+        ``recovery.checkpoint.seconds`` this accounts the full direct
+        cost of durability (what the overhead benchmark gates on)."""
+        started = time.perf_counter()
+        self.journal.append(record)
+        if self.metrics is not None:
+            self.metrics.timing("recovery.journal.seconds").observe(
+                time.perf_counter() - started
+            )
+        self._count("recovery.journal.records")
+
+    def _attach(self, system) -> None:
+        self.metrics = system.metrics
+        if self.interval is None:
+            self.interval = system.config.checkpoint_interval
+
+    # -- run lifecycle -------------------------------------------------
+    def on_run_start(self, system, span: tuple[int, int]) -> None:
+        """Baseline checkpoint + first journal segment (fresh runs);
+        resumed runs already restored their baseline.
+
+        Called by the pipeline *before* it generates and feeds the
+        input stream — the baseline therefore holds no pending SDEs
+        (cheap to write) and a restore re-runs generation from the
+        checkpointed RNG state, reproducing the exact same stream.
+        ``span`` is the run's ``(start, end)``, stored alongside so a
+        baseline restore knows what to re-run.
+        """
+        self._attach(system)
+        if self._resumed:
+            return
+        self._write_checkpoint(system, None, span=span)
+
+    def begin_step(self, step: int, q: int, arrivals: Mapping[str, int]) -> None:
+        """Write-ahead record for the step about to execute."""
+        if self.crash is not None:
+            self.crash.before_step(step)
+        self._journal(
+            {
+                "kind": "step",
+                "step": step,
+                "q": q,
+                "arrivals": dict(arrivals),
+            }
+        )
+
+    def commit_step(self, step: int, crowd_events: int) -> None:
+        """Completion record for a finished step."""
+        self._journal(
+            {"kind": "commit", "step": step, "crowd_events": crowd_events}
+        )
+
+    def after_step(self, system, state) -> None:
+        """Checkpoint when the interval has elapsed since the last."""
+        assert self.interval is not None
+        if state.step_index - self._base_step >= self.interval:
+            self._write_checkpoint(system, state)
+
+    def on_run_complete(self, system, state) -> None:
+        """Mark the run finished and release the journal."""
+        self._journal({"kind": "complete", "step": state.step_index})
+        self.journal.close()
+
+    # ------------------------------------------------------------------
+    def _write_checkpoint(
+        self, system, state, *, span: Optional[tuple[int, int]] = None
+    ) -> None:
+        step = 0 if state is None else state.step_index
+        pre_replace = None
+        if self.crash is not None:
+            crash = self.crash
+
+            def pre_replace(path, data, _step=step, _crash=crash):
+                _crash.on_checkpoint_write(_step, path, data)
+
+        started = time.perf_counter()
+        payload = {
+            "system": system,
+            "state": state,
+            "span": span,
+            # Interval checkpoints drop the regenerable pending stream
+            # (see repro.core.incremental.streamless_checkpoint); the
+            # restore path rebuilds it against the baseline checkpoint.
+            "streamless": state is not None,
+        }
+        if state is not None:
+            with streamless_checkpoint():
+                info = self.manager.save(
+                    step, payload, pre_replace=pre_replace
+                )
+        else:
+            info = self.manager.save(step, payload, pre_replace=pre_replace)
+        elapsed = time.perf_counter() - started
+        self.last_checkpoint = info
+        self._base_step = step
+        self.journal.open(step)
+        # Segments below the oldest *mid-run* checkpoint can never be
+        # replayed again (the always-retained baseline only ever needs
+        # the segment a restore re-opens for it).
+        remaining = [i for i in self.manager.list() if i.step != 0]
+        if remaining:
+            self.journal.prune(remaining[0].step)
+        self._count("recovery.checkpoint.writes")
+        self._count("recovery.checkpoint.bytes", info.size)
+        if self.metrics is not None:
+            self.metrics.timing("recovery.checkpoint.seconds").observe(
+                elapsed
+            )
+
+    # -- restore -------------------------------------------------------
+    def restore_latest(self) -> tuple[Any, Any]:
+        """Load the newest valid checkpoint and prepare to continue.
+
+        Returns ``(system, state)``.  ``state`` is ``None`` when the
+        newest checkpoint is a pre-generation *baseline* — continue by
+        calling ``system.run(*coordinator.restored_span,
+        recovery=coordinator)``, which regenerates the input stream
+        deterministically; otherwise call
+        ``system.resume_from(state, coordinator)``.
+
+        The journal segment following the restored checkpoint is read
+        for replay accounting, archived, and reopened fresh — the
+        replayed steps re-journal themselves as they re-execute, so the
+        segment on disk always describes the run that actually
+        happened.
+        """
+        payload, info, fallbacks = self.manager.load_latest()
+        system, state = payload["system"], payload["state"]
+        self.restored_span = payload.get("span")
+        if state is not None and payload.get("streamless"):
+            # The snapshot dropped the regenerable pending stream; the
+            # pristine pre-generation system in the (always-retained)
+            # baseline checkpoint anchors its reconstruction.
+            try:
+                baseline = self.manager.load(self.manager.path_for(0))
+            except FileNotFoundError:
+                raise CheckpointError(
+                    f"checkpoint at step {info.step} needs the baseline "
+                    f"{self.manager.path_for(0)} to rebuild its pending "
+                    f"stream, but the file is missing"
+                ) from None
+            system.rebuild_pending(baseline["system"], state)
+        self._attach(system)
+        self._resumed = True
+        self._base_step = info.step
+        self.last_checkpoint = info
+
+        replay_steps = set()
+        replay_items = 0
+        for record in self.journal.read_segment(info.step):
+            if record.get("kind") == "step" and record["step"] > info.step:
+                replay_steps.add(record["step"])
+                replay_items += sum(record["arrivals"].values())
+        self._count("recovery.restore.count")
+        self._count("recovery.restore.fallbacks", fallbacks)
+        self._count("recovery.replay.steps", len(replay_steps))
+        self._count("recovery.replay.items", replay_items)
+        self.journal.open(info.step, fresh=True)
+        return system, state

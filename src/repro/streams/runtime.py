@@ -39,6 +39,14 @@ class RunStats:
 
     items_ingested: int = 0
     items_delivered: int = 0
+    #: Source items skipped at seeding time because they were below the
+    #: runtime's ``start_offsets`` (already processed before a resume).
+    items_skipped: int = 0
+    #: Absolute per-source consumption offsets: how many of each
+    #: source's items have been dispatched, *including* any skipped
+    #: prefix — so the final offsets of a resumed run equal an
+    #: uninterrupted run's.
+    source_offsets: dict[str, int] = field(default_factory=dict)
     per_process: dict[str, tuple[int, int]] = field(default_factory=dict)
     #: Wall-clock seconds of the dispatch loop.
     wall_seconds: float = 0.0
@@ -215,6 +223,24 @@ class StreamRuntime:
         input short-circuits traffic after repeated failures (see
         ``docs/robustness.md``).  Without one, any chain exception
         propagates — the historical behaviour.
+    journal:
+        Optional write-ahead journal (anything with an
+        ``append(record)`` method, e.g. an open
+        :class:`repro.recovery.WriteAheadJournal` segment).  The
+        runtime appends ``{"kind": "offsets", ...}`` records of the
+        per-source consumption offsets every ``journal_every``
+        dispatched source items and once at the end of the run, so an
+        embedding can resume a dead run from the last journalled
+        offsets instead of time zero.
+    journal_every:
+        Source items between journalled offset records.
+    start_offsets:
+        Absolute per-source offsets to resume from: the first
+        ``start_offsets[name]`` items of each source are skipped at
+        seeding time (counted in ``RunStats.items_skipped``), and the
+        reported offsets continue from those positions.  Sources are
+        replayed deterministically, so skipping a processed prefix is
+        exactly-once delivery for the remainder.
     """
 
     def __init__(
@@ -222,12 +248,23 @@ class StreamRuntime:
         topology: Topology,
         metrics: Optional[Registry] = None,
         supervisor: Optional[Supervisor] = None,
+        *,
+        journal=None,
+        journal_every: int = 100,
+        start_offsets: Optional[dict[str, int]] = None,
     ):
+        if journal_every < 1:
+            raise ValueError(
+                f"journal_every must be >= 1, got {journal_every}"
+            )
         self.topology = topology
         self.metrics = metrics
         self.supervisor = supervisor
         if supervisor is not None and supervisor.metrics is None:
             supervisor.metrics = metrics
+        self.journal = journal
+        self.journal_every = journal_every
+        self.start_offsets = dict(start_offsets or {})
         self._contexts: dict[str, ProcessorContext] = {}
         #: Arrival time of the item currently being processed.
         self.now: Optional[int] = None
@@ -251,11 +288,17 @@ class StreamRuntime:
                 processor.init(context)
         topo.services.start_all()
 
-        # Seed the schedule with all source items, merged by arrival.
+        # Seed the schedule with all source items, merged by arrival;
+        # a resumed run skips each source's already-processed prefix.
         heap: list[tuple[int, int, str, DataItem]] = []
         seq = 0
         for source in topo.sources.values():
-            for item in source:
+            skip = self.start_offsets.get(source.name, 0)
+            stats.source_offsets[source.name] = skip
+            for index, item in enumerate(source):
+                if index < skip:
+                    stats.items_skipped += 1
+                    continue
                 heapq.heappush(heap, (item_arrival(item), seq, source.name, item))
                 seq += 1
                 stats.items_ingested += 1
@@ -279,6 +322,8 @@ class StreamRuntime:
 
         timed = self.metrics is not None
         chain_seconds: dict[str, float] = {}
+        source_names = set(topo.sources)
+        since_journal = 0
         t_run = perf_counter()
         while heap:
             arrival, _, input_name, item = heapq.heappop(heap)
@@ -306,6 +351,16 @@ class StreamRuntime:
                 and heap[0][2] == input_name
             ):
                 batch.append(heapq.heappop(heap)[3])
+            if input_name in source_names:
+                # The batch is consumed from its source whatever its
+                # consumers (or breakers) do with it: advance the
+                # source offset and journal it periodically.
+                stats.source_offsets[input_name] += len(batch)
+                if self.journal is not None:
+                    since_journal += len(batch)
+                    if since_journal >= self.journal_every:
+                        self._journal_offsets(stats, arrival)
+                        since_journal = 0
             consumers = topo.consumers_of(input_name)
             if not consumers:
                 continue
@@ -347,6 +402,8 @@ class StreamRuntime:
                             + (perf_counter() - t0)
                         )
         stats.wall_seconds = perf_counter() - t_run
+        if self.journal is not None:
+            self._journal_offsets(stats, self.now, final=True)
 
         for process in topo.processes.values():
             for processor in process.processors:
@@ -359,6 +416,19 @@ class StreamRuntime:
             self._record_metrics(stats, chain_seconds)
         return stats
 
+    def _journal_offsets(
+        self, stats: RunStats, t, *, final: bool = False
+    ) -> None:
+        """Write-ahead record of the current source offsets."""
+        record = {
+            "kind": "offsets",
+            "offsets": dict(stats.source_offsets),
+            "t": t,
+        }
+        if final:
+            record["final"] = True
+        self.journal.append(record)
+
     def _record_metrics(
         self, stats: RunStats, chain_seconds: dict[str, float]
     ) -> None:
@@ -367,6 +437,10 @@ class StreamRuntime:
         assert registry is not None
         registry.counter("streams.items.ingested").inc(stats.items_ingested)
         registry.counter("streams.items.delivered").inc(stats.items_delivered)
+        if stats.items_skipped:
+            registry.counter("streams.items.skipped").inc(
+                stats.items_skipped
+            )
         registry.timing("streams.run.seconds").observe(stats.wall_seconds)
         for name, (consumed, produced) in stats.per_process.items():
             prefix = f"streams.process.{name}"

@@ -13,9 +13,10 @@ supervision vocabulary of production stream processors:
   budget is treated as a failure and fed through the same policy
   (cooperative — the runtime is single-threaded, so the overrun is
   detected after the call returns rather than preempted);
-* a :class:`DeadLetterQueue` collecting every poisoned item with its
-  error, attempt count and arrival time — inspectable from tests and
-  from ``repro-traffic faults --dlq``;
+* a bounded :class:`DeadLetterQueue` collecting poisoned items with
+  their error, attempt count and arrival time — inspectable from tests
+  and from ``repro-traffic faults --dlq``; at capacity the oldest
+  letters are evicted and counted;
 * a :class:`CircuitBreaker` per input stream: after ``N`` consecutive
   chain failures on items of one input the breaker opens and further
   items short-circuit straight to the dead-letter queue until
@@ -114,13 +115,29 @@ class DeadLetter:
 
 
 class DeadLetterQueue:
-    """Accumulates :class:`DeadLetter` entries for inspection."""
+    """Accumulates :class:`DeadLetter` entries for inspection.
 
-    def __init__(self) -> None:
+    The queue is bounded: once ``max_size`` entries are held, filing a
+    new letter evicts the oldest one (the most recent failures are the
+    ones worth inspecting).  Evictions are tallied in :attr:`dropped`
+    and surfaced by the supervisor as the
+    ``streams.supervision.dlq.dropped`` counter.
+    """
+
+    def __init__(self, max_size: int = 10_000) -> None:
+        if max_size < 1:
+            raise ValueError("max_size must be at least 1")
+        self.max_size = max_size
         self.letters: list[DeadLetter] = []
+        #: Letters evicted to stay within ``max_size``.
+        self.dropped = 0
 
     def append(self, letter: DeadLetter) -> None:
-        """Record one dead letter (supervisor use)."""
+        """Record one dead letter, evicting the oldest when full."""
+        if len(self.letters) >= self.max_size:
+            overflow = len(self.letters) - self.max_size + 1
+            del self.letters[:overflow]
+            self.dropped += overflow
         self.letters.append(letter)
 
     def __len__(self) -> int:
@@ -328,6 +345,7 @@ class Supervisor:
             if isinstance(error, str)
             else f"{type(error).__name__}: {error}"
         )
+        dropped_before = self.dead_letters.dropped
         self.dead_letters.append(
             DeadLetter(
                 process=process,
@@ -339,3 +357,6 @@ class Supervisor:
             )
         )
         self._count("streams.supervision.dead_letters")
+        evicted = self.dead_letters.dropped - dropped_before
+        if evicted:
+            self._count("streams.supervision.dlq.dropped", evicted)

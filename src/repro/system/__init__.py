@@ -2,7 +2,7 @@
 
 from .console import Alert, OperatorConsole
 from .degradation import DegradationManager, describe_timeline
-from .pipeline import SystemConfig, SystemReport, UrbanTrafficSystem
+from .pipeline import RunState, SystemConfig, SystemReport, UrbanTrafficSystem
 from .processors import (
     CrowdsourcingProcessor,
     FluentFeedbackProcessor,
@@ -15,6 +15,7 @@ __all__ = [
     "Alert",
     "OperatorConsole",
     "SystemConfig",
+    "RunState",
     "SystemReport",
     "UrbanTrafficSystem",
     "DegradationManager",

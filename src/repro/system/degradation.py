@@ -126,6 +126,43 @@ class DegradationManager:
             if spans
         }
 
+    # -- durability ----------------------------------------------------
+    # The manager is pickled wholesale inside pipeline checkpoints;
+    # these JSON-able dicts are the explicit contract for what must
+    # survive a restart: the per-feed silent-step counters, the set of
+    # currently tripped breakers, and the outage timeline (including
+    # still-open intervals, whose ``end`` is ``None`` until the feed
+    # recovers).  Thresholds and the metrics registry are configuration
+    # and are re-attached by the restoring pipeline.
+    def state_dict(self) -> dict:
+        """The breaker/timeline state as plain JSON-able data."""
+        return {
+            "silent": dict(self._silent),
+            "degraded": sorted(self._degraded),
+            "intervals": {
+                feed: [list(span) for span in spans]
+                for feed, spans in self.intervals.items()
+            },
+        }
+
+    def load_state_dict(self, state: Mapping) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        silent = state["silent"]
+        self._silent = {
+            feed: int(silent.get(feed, 0)) for feed in self.feeds
+        }
+        self._degraded = {
+            feed for feed in state["degraded"] if feed in self.feeds
+        }
+        intervals = state["intervals"]
+        self.intervals = {
+            feed: [
+                (int(start), None if end is None else int(end))
+                for start, end in intervals.get(feed, [])
+            ]
+            for feed in self.feeds
+        }
+
     # ------------------------------------------------------------------
     def _count(self, feed: str, kind: str) -> None:
         if self.metrics is not None:

@@ -137,6 +137,11 @@ class SystemConfig:
     #: Consecutive silent recognition steps before a feed's breaker
     #: opens and the system degrades to the surviving feed's CEs.
     feed_outage_steps: int = 2
+    #: Recognition steps between pipeline checkpoints when a
+    #: :class:`repro.recovery.CheckpointCoordinator` is attached to the
+    #: run (``run(..., recovery=...)`` or ``repro run --checkpoint-dir``).
+    #: Ignored — zero overhead — when no coordinator is attached.
+    checkpoint_interval: int = 10
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -173,6 +178,8 @@ class SystemConfig:
             )
         if self.feed_outage_steps < 1:
             raise ValueError("feed_outage_steps must be at least 1")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be at least 1")
         if self.fault_profile is not None:
             # Fail fast on unknown profile names (with the same
             # closest-match hint get_profile gives everywhere else).
@@ -277,6 +284,33 @@ def _query_engine_remote(
 ) -> tuple[RecognitionSnapshot, RTEC]:
     """Process-pool worker: query and ship the mutated engine back."""
     return engine.query(q), engine
+
+
+@dataclass
+class RunState:
+    """Where one run is in its recognition loop.
+
+    Checkpointed alongside the system by :mod:`repro.recovery`; a
+    restored ``RunState`` is everything :meth:`UrbanTrafficSystem
+    .resume_from` needs to continue the loop — the input stream itself
+    is *not* re-generated on resume, because the engines' working
+    memories already buffer every pending (not-yet-arrived) SDE and
+    re-running generation/injection/indexing would double-count fault
+    metrics and flow observations.
+    """
+
+    #: Run bounds as passed to :meth:`UrbanTrafficSystem.run`.
+    start: int
+    end: int
+    #: The next query time the loop will evaluate.
+    next_q: int
+    #: 1-based count of completed recognition steps.
+    step_index: int
+    #: Sorted per-feed SDE arrival times (the degradation breaker's
+    #: liveness signal), precomputed for the whole run.
+    feed_arrivals: dict[str, list[int]]
+    #: The report under construction (logs, console, crowd counters).
+    report: SystemReport
 
 
 class UrbanTrafficSystem:
@@ -447,7 +481,9 @@ class UrbanTrafficSystem:
             for feed, times in feed_arrivals.items()
         }
 
-    def run(self, start: int, end: int) -> SystemReport:
+    def run(
+        self, start: int, end: int, *, recovery=None
+    ) -> SystemReport:
         """Run the full loop over ``[start, end)`` and report.
 
         With ``config.parallel_regions`` the per-region recognition
@@ -459,7 +495,21 @@ class UrbanTrafficSystem:
         parallel schedule recognises exactly what the sequential one
         does (the parity test in ``tests/system/test_parallel.py``
         asserts this end to end).
+
+        ``recovery`` accepts a
+        :class:`repro.recovery.CheckpointCoordinator`: the loop then
+        journals each step write-ahead and checkpoints the whole
+        pipeline every ``config.checkpoint_interval`` steps.  The
+        coordinator only observes — a run with checkpointing enabled
+        produces exactly the output of one without.
         """
+        if recovery is not None:
+            # The baseline checkpoint is written *before* the stream is
+            # generated and fed: the snapshot then holds no pending
+            # SDEs, and a baseline restore re-runs this method so the
+            # deterministic generation (and its metrics) happens
+            # exactly once, from the checkpointed RNG state.
+            recovery.on_run_start(self, (start, end))
         data = self.scenario.generate(start, end)
         if self.fault_profile is not None:
             data = inject_scenario(
@@ -473,18 +523,88 @@ class UrbanTrafficSystem:
             split = {"city": (data.events, data.facts)}
         for region, (events, facts) in split.items():
             self.engines[region].feed(events, facts)
+            # Everything up to here is deterministically regenerable
+            # from the baseline checkpoint; later feeds (crowd
+            # feedback) are not.  The boundary lets interval
+            # checkpoints drop the pending stream instead of
+            # re-serialising the whole future at every write.
+            self.engines[region].mark_stream_fed()
 
         logs = {region: RecognitionLog() for region in self.engines}
-        report = SystemReport(logs=logs, console=self.console)
+        state = RunState(
+            start=start,
+            end=end,
+            next_q=start + self.config.step,
+            step_index=0,
+            feed_arrivals=feed_arrivals,
+            report=SystemReport(logs=logs, console=self.console),
+        )
+        return self._run_loop(state, recovery)
 
+    def resume_from(self, state: RunState, recovery) -> SystemReport:
+        """Continue a checkpointed run restored by
+        :meth:`repro.recovery.CheckpointCoordinator.restore_latest`.
+
+        Must be called on the *restored* system object (the one
+        unpickled from the checkpoint together with ``state``), with
+        the pending stream already present — either carried by the
+        checkpoint itself or refilled by :meth:`rebuild_pending` for a
+        streamless checkpoint.  No input is re-generated or re-fed
+        here.
+        """
+        return self._run_loop(state, recovery)
+
+    def rebuild_pending(self, pristine, state: RunState) -> None:
+        """Refill the engines' pending buffers after restoring a
+        *streamless* checkpoint.
+
+        ``pristine`` is the pre-generation twin of this system,
+        unpickled from the baseline checkpoint: regenerating the input
+        stream on it reproduces byte-for-byte the sequence the crashed
+        run fed, because generation is a pure function of the
+        checkpointed RNG states.  The stream is regenerated, split and
+        filtered exactly as :meth:`run` fed it; everything already
+        admitted by the last completed query is dropped, and the
+        engines merge the remainder under the pending entries the
+        snapshot retained (crowd feedback SDEs).  All side channels of
+        generation — fault counters, flow-estimator observations, the
+        prior index — already live in the restored state, so the
+        regeneration here deliberately touches only ``pristine``'s
+        metrics (discarded with it).
+        """
+        data = pristine.scenario.generate(state.start, state.end)
+        if pristine.fault_profile is not None:
+            data = inject_scenario(
+                data, pristine.fault_profile, metrics=pristine.metrics
+            )
+        if self.config.distribute_by_region:
+            split = pristine.scenario.split_by_region(data)
+        else:
+            split = {"city": (data.events, data.facts)}
+        admitted_through = state.next_q - self.config.step
+        for region, (events, facts) in split.items():
+            self.engines[region].refill_stream(
+                events, facts, admitted_through
+            )
+
+    def _run_loop(self, state: RunState, recovery) -> SystemReport:
+        """The recognition loop and end-of-run finalisation."""
+        report = state.report
+        logs = report.logs
         executor = self._make_executor()
         try:
-            q = start + self.config.step
-            while q <= end:
-                degraded = self.degradation.observe(
-                    q, self._step_arrival_counts(feed_arrivals, q)
+            q = state.next_q
+            while q <= state.end:
+                step = state.step_index + 1
+                arrivals = self._step_arrival_counts(
+                    state.feed_arrivals, q
                 )
+                if recovery is not None:
+                    recovery.begin_step(step, q, arrivals)
+                state.step_index = step
+                degraded = self.degradation.observe(q, arrivals)
                 snapshots = self._query_regions(q, executor)
+                crowd_before = report.crowd_resolutions
                 for region, snapshot in snapshots.items():
                     self._record_query_metrics(region, snapshot)
                     fresh = logs[region].add(snapshot)
@@ -493,18 +613,26 @@ class UrbanTrafficSystem:
                         region, q, snapshot, fresh, report, degraded
                     )
                 q += self.config.step
+                state.next_q = q
+                if recovery is not None:
+                    recovery.commit_step(
+                        step, report.crowd_resolutions - crowd_before
+                    )
+                    recovery.after_step(self, state)
         finally:
             if executor is not None:
                 executor.shutdown()
 
         report.degraded = self.degradation.finish()
-        report.flow_estimates = self.estimate_citywide(end)
+        report.flow_estimates = self.estimate_citywide(state.end)
         if self.reward_ledger is not None and self.crowd is not None:
             report.rewards = self.reward_ledger.settle(
                 self.crowd.aggregator
             )
-        self._finalise_metrics(end)
+        self._finalise_metrics(state.end)
         report.metrics = self.metrics.to_dict()
+        if recovery is not None:
+            recovery.on_run_complete(self, state)
         return report
 
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ from __future__ import annotations
 import html
 from pathlib import Path
 
+from ..ioutils import atomic_write_text
 from ..traffic_model.svg import render_city_svg
 from .pipeline import SystemReport, UrbanTrafficSystem
 
@@ -119,8 +120,8 @@ def write_html_report(
 ) -> Path:
     """Render with :func:`render_html_report` and write to ``path``."""
     path = Path(path)
-    path.write_text(
+    atomic_write_text(
+        path,
         render_html_report(system, report, at=at, max_alerts=max_alerts),
-        encoding="utf-8",
     )
     return path

@@ -65,12 +65,30 @@ class RollingFlowEstimator:
         self.staleness_s = staleness_s
         self.nodes = list(graph.nodes)
         self._index = {node: i for i, node in enumerate(self.nodes)}
+        self._alpha = alpha
+        self._beta = beta
         self._kernel = graph_kernel(graph, alpha, beta, nodes=self.nodes)
         self._noise = noise
         self._readings: dict = {}
         self.metrics = metrics
         #: Number of GP refits performed (observability for operators).
         self.refits = 0
+
+    # -- durability ----------------------------------------------------
+    # The kernel matrix is O(n^2) floats — by far the largest object in
+    # a pipeline checkpoint — and a pure function of (graph, alpha,
+    # beta).  Dropping it from the pickle keeps checkpoints small and
+    # fast; the restoring process recomputes it once.
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        del state["_kernel"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._kernel = graph_kernel(
+            self.graph, self._alpha, self._beta, nodes=self.nodes
+        )
 
     # ------------------------------------------------------------------
     def observe(self, node, value: float, time: int) -> None:

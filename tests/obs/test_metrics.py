@@ -95,3 +95,23 @@ class TestRegistry:
         assert a.timing("t").min == pytest.approx(0.1)
         assert a.timing("t").max == pytest.approx(0.4)
         assert a.gauge("g").value == 2.0
+
+
+class TestAtomicExport:
+    def test_write_json_round_trips(self, tmp_path):
+        registry = Registry()
+        registry.counter("a").inc(3)
+        registry.gauge("g").set(1.5)
+        path = tmp_path / "metrics.json"
+        registry.write_json(path)
+        revived = Registry.from_json(path.read_text())
+        assert revived.counters() == {"a": 3}
+        assert revived.gauges() == {"g": 1.5}
+
+    def test_write_json_leaves_no_tmp_files(self, tmp_path):
+        registry = Registry()
+        registry.counter("a").inc()
+        path = tmp_path / "metrics.json"
+        registry.write_json(path)
+        registry.write_json(path)  # overwrite is atomic too
+        assert [p.name for p in tmp_path.iterdir()] == ["metrics.json"]

@@ -1,0 +1,138 @@
+"""Unit tests for the versioned checkpoint store."""
+
+import pytest
+
+from repro.recovery import (
+    CheckpointError,
+    CheckpointManager,
+    NoValidCheckpoint,
+)
+from repro.streams import CircuitBreaker
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        payload = {"step": 3, "data": list(range(10))}
+        info = manager.save(3, payload)
+        assert info.step == 3
+        assert info.path.exists()
+        assert info.size == info.path.stat().st_size
+        assert manager.load(info.path) == payload
+
+    def test_load_latest_picks_newest(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        for step in (2, 5, 9):
+            manager.save(step, {"step": step})
+        payload, info, fallbacks = manager.load_latest()
+        assert payload == {"step": 9}
+        assert info.step == 9
+        assert fallbacks == 0
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(NoValidCheckpoint):
+            CheckpointManager(tmp_path).load_latest()
+
+    def test_save_is_atomic_no_tmp_left_behind(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(1, {"a": 1})
+        leftovers = [
+            p for p in tmp_path.iterdir() if not p.name.endswith(".ckpt")
+        ]
+        assert leftovers == []
+
+
+class TestValidation:
+    def test_corrupted_payload_rejected(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        info = manager.save(1, {"a": 1})
+        data = bytearray(info.path.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte: checksum must catch it
+        info.path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError):
+            manager.load(info.path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        info = manager.save(1, {"a": 1})
+        data = info.path.read_bytes()
+        info.path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError):
+            manager.load(info.path)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        info = manager.save(1, {"a": 1})
+        data = info.path.read_bytes()
+        info.path.write_bytes(b"NOTACKPT" + data[8:])
+        with pytest.raises(CheckpointError):
+            manager.load(info.path)
+
+    def test_load_latest_falls_back_over_torn_file(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(2, {"step": 2})
+        torn = manager.save(5, {"step": 5})
+        torn.path.write_bytes(torn.path.read_bytes()[:40])
+        payload, info, fallbacks = manager.load_latest()
+        assert payload == {"step": 2}
+        assert info.step == 2
+        assert fallbacks == 1
+
+    def test_all_torn_raises(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        info = manager.save(1, {"a": 1})
+        info.path.write_bytes(b"junk")
+        with pytest.raises(NoValidCheckpoint):
+            manager.load_latest()
+
+
+class TestRetention:
+    def test_prunes_to_retain(self, tmp_path):
+        manager = CheckpointManager(tmp_path, retain=2)
+        for step in range(1, 6):
+            manager.save(step, {"step": step})
+        steps = [info.step for info in manager.list()]
+        assert steps == [4, 5]
+
+    def test_retain_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, retain=1)
+
+
+class TestBreakerRoundTrip:
+    """Satellite: a CircuitBreaker survives checkpoint save/load with
+    its state machine intact."""
+
+    def test_open_breaker_round_trips(self, tmp_path):
+        breaker = CircuitBreaker(threshold=2, reset_after_s=100)
+        breaker.record_failure(10)
+        breaker.record_failure(20)
+        assert breaker.is_open
+
+        manager = CheckpointManager(tmp_path)
+        info = manager.save(1, {"breaker": breaker})
+        revived = manager.load(info.path)["breaker"]
+
+        assert revived.state == CircuitBreaker.OPEN
+        assert revived.opened_at == 20
+        assert revived.open_intervals == [(20, None)]
+        # The revived breaker continues the same cooldown clock.
+        assert not revived.allow(119)
+        assert revived.allow(120)  # half-open trial
+        revived.record_success(121)
+        assert revived.state == CircuitBreaker.CLOSED
+        assert revived.open_intervals == [(20, 121)]
+
+    def test_half_open_breaker_round_trips(self, tmp_path):
+        breaker = CircuitBreaker(threshold=1, reset_after_s=50)
+        breaker.record_failure(0)
+        assert breaker.allow(50)  # transitions to half-open
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+        manager = CheckpointManager(tmp_path)
+        info = manager.save(1, {"breaker": breaker})
+        revived = manager.load(info.path)["breaker"]
+        assert revived.state == CircuitBreaker.HALF_OPEN
+        revived.record_failure(60)
+        assert revived.state == CircuitBreaker.OPEN
+        assert revived.opened_at == 60

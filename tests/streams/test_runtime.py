@@ -379,3 +379,62 @@ class TestRuntime:
         ctx = ProcessorContext()
         with pytest.raises(LookupError):
             ctx.service("anything")
+
+
+class TestSourceOffsets:
+    """Offset tracking + start_offsets resume (the journal's replay
+    contract for raw stream items)."""
+
+    def _topology(self, n=20):
+        topo = Topology()
+        topo.add_source(
+            Source("feed", [make_item({"n": i}, time=i) for i in range(n)])
+        )
+        sink = Collect()
+        topo.add_process(Process("p", input="feed", processors=[sink]))
+        return topo, sink
+
+    def test_offsets_count_consumed_source_items(self):
+        topo, _ = self._topology()
+        stats = StreamRuntime(topo).run()
+        assert stats.source_offsets == {"feed": 20}
+        assert stats.items_skipped == 0
+
+    def test_start_offsets_skip_the_processed_prefix(self):
+        topo, sink = self._topology()
+        stats = StreamRuntime(topo, start_offsets={"feed": 15}).run()
+        assert stats.items_skipped == 15
+        assert stats.items_ingested == 5
+        assert [i["n"] for i in sink.items] == [15, 16, 17, 18, 19]
+        # Final offsets match an uninterrupted run's.
+        assert stats.source_offsets == {"feed": 20}
+
+    def test_journal_records_offsets_and_resume_matches(self, tmp_path):
+        from repro.recovery import WriteAheadJournal
+
+        journal = WriteAheadJournal(tmp_path)
+        journal.open(0)
+        topo, _ = self._topology()
+        full = StreamRuntime(topo, journal=journal, journal_every=6).run()
+        journal.close()
+
+        offsets = [
+            r for r in journal.read_segment(0) if r["kind"] == "offsets"
+        ]
+        assert offsets, "periodic offset records expected"
+        assert offsets[-1]["final"] is True
+        assert offsets[-1]["offsets"] == full.source_offsets
+
+        # Resume from a mid-run record: the remainder alone is
+        # processed and the final offsets agree.
+        mid = offsets[0]["offsets"]
+        topo2, sink2 = self._topology()
+        resumed = StreamRuntime(topo2, start_offsets=mid).run()
+        assert resumed.items_skipped == mid["feed"]
+        assert resumed.source_offsets == full.source_offsets
+        assert len(sink2.items) == 20 - mid["feed"]
+
+    def test_journal_every_validation(self):
+        topo, _ = self._topology()
+        with pytest.raises(ValueError):
+            StreamRuntime(topo, journal_every=0)

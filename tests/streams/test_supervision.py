@@ -296,3 +296,93 @@ class TestBreakerInRuntime:
     def test_final_state_gauge_reports_open(self):
         _, _, metrics = self._run([(0, -1), (1, -2), (2, -3), (10, -4)])
         assert metrics.gauges()["streams.breaker.s.state"] == 1.0
+
+
+class TestCircuitBreakerHalfOpenEdges:
+    """Satellite: half-open edge cases around the cooldown boundary."""
+
+    def test_failure_exactly_at_reset_boundary(self):
+        breaker = CircuitBreaker(threshold=1, reset_after_s=100)
+        breaker.record_failure(10)
+        # 109 is still inside the cooldown; 110 == opened_at +
+        # reset_after_s is the first instant the trial flows.
+        assert not breaker.allow(109)
+        assert breaker.allow(110)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_failure(110)
+        assert breaker.state == CircuitBreaker.OPEN
+        # The cooldown clock restarted at the boundary failure.
+        assert not breaker.allow(209)
+        assert breaker.allow(210)
+
+    def test_success_then_failure_in_half_open(self):
+        breaker = CircuitBreaker(threshold=2, reset_after_s=100)
+        breaker.record_failure(0)
+        breaker.record_failure(1)
+        assert breaker.is_open
+        assert breaker.allow(101)
+        breaker.record_success(101)  # trial succeeds: breaker closes
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.open_intervals == [(1, 101)]
+        # A single follow-up failure is below threshold again — the
+        # half-open trip must not have left a stale failure streak.
+        breaker.record_failure(102)
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure(103)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.open_intervals == [(1, 101), (103, None)]
+
+    def test_repeated_allow_in_half_open_keeps_flowing(self):
+        breaker = CircuitBreaker(threshold=1, reset_after_s=50)
+        breaker.record_failure(0)
+        assert breaker.allow(50)
+        # Until the trial's outcome is reported, further arrivals flow.
+        assert breaker.allow(51)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+
+class TestBoundedDeadLetterQueue:
+    """Satellite: the DLQ evicts oldest at capacity and counts drops."""
+
+    def _letter(self, n):
+        from repro.streams import DeadLetter
+
+        return DeadLetter(
+            process="p", input="s", item={"v": n}, error="boom",
+            attempts=1, arrival=n,
+        )
+
+    def test_eviction_keeps_newest(self):
+        dlq = DeadLetterQueue(max_size=3)
+        for n in range(5):
+            dlq.append(self._letter(n))
+        assert len(dlq) == 3
+        assert dlq.dropped == 2
+        assert [letter.arrival for letter in dlq] == [2, 3, 4]
+
+    def test_max_size_validation(self):
+        with pytest.raises(ValueError):
+            DeadLetterQueue(max_size=0)
+
+    def test_supervisor_counts_dropped_letters(self):
+        registry = Registry()
+        supervisor = Supervisor(
+            dead_letters=DeadLetterQueue(max_size=2), metrics=registry
+        )
+        for n in range(5):
+            supervisor.dead_letter(
+                process="p", input_name="s", item=make_item({"v": n}, time=n),
+                error="boom", attempts=1, arrival=n,
+            )
+        counters = registry.counters()
+        assert counters["streams.supervision.dead_letters"] == 5
+        assert counters["streams.supervision.dlq.dropped"] == 3
+        assert len(supervisor.dead_letters) == 2
+
+    def test_unbounded_by_default_for_typical_runs(self):
+        # The default capacity is far above anything a test run files.
+        dlq = DeadLetterQueue()
+        for n in range(100):
+            dlq.append(self._letter(n))
+        assert len(dlq) == 100
+        assert dlq.dropped == 0

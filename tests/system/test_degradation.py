@@ -152,3 +152,59 @@ class TestBlackoutEndToEnd:
         ]
         assert by_outage > 0
         assert dark.crowd_suppressed >= by_outage
+
+
+class TestDegradationStateDict:
+    """Satellite: open-interval handling + breaker state round-trips."""
+
+    def test_finish_preserves_open_interval_end_none(self):
+        manager = DegradationManager(threshold=1)
+        manager.observe(300, {"scats": 0, "bus": 1})
+        manager.observe(600, {"scats": 0, "bus": 0})
+        timeline = manager.finish()
+        assert timeline["scats"] == [(300, None)]
+        assert timeline["bus"] == [(600, None)]
+        assert describe_timeline(timeline) == [
+            "feed 'bus' degraded over [600, end of run]",
+            "feed 'scats' degraded over [300, end of run]",
+        ]
+
+    def test_state_dict_round_trip_with_open_interval(self):
+        manager = DegradationManager(threshold=1)
+        manager.observe(300, {"scats": 0, "bus": 1})
+        manager.observe(600, {"scats": 4, "bus": 1})
+        manager.observe(900, {"scats": 0, "bus": 1})  # re-trips: open
+
+        revived = DegradationManager(threshold=1)
+        revived.load_state_dict(manager.state_dict())
+        assert revived.degraded_feeds == frozenset({"scats"})
+        assert revived.intervals["scats"] == [(300, 600), (900, None)]
+        # The revived breaker continues the same timeline: the next
+        # arrival closes the open interval at its query time.
+        revived.observe(1200, {"scats": 2, "bus": 1})
+        assert revived.intervals["scats"] == [(300, 600), (900, 1200)]
+        assert not revived.is_degraded("scats")
+
+    def test_state_dict_round_trip_preserves_silent_streak(self):
+        manager = DegradationManager(threshold=3)
+        manager.observe(300, {"scats": 0, "bus": 1})
+        manager.observe(600, {"scats": 0, "bus": 1})
+        assert not manager.is_degraded("scats")
+
+        revived = DegradationManager(threshold=3)
+        revived.load_state_dict(manager.state_dict())
+        # One more silent step after restore completes the streak —
+        # exactly as it would have without the restart.
+        degraded = revived.observe(900, {"scats": 0, "bus": 1})
+        assert degraded == frozenset({"scats"})
+        assert revived.intervals["scats"] == [(900, None)]
+
+    def test_state_dict_is_json_able(self):
+        import json
+
+        manager = DegradationManager(threshold=1)
+        manager.observe(300, {"scats": 0, "bus": 0})
+        state = json.loads(json.dumps(manager.state_dict()))
+        revived = DegradationManager(threshold=1)
+        revived.load_state_dict(state)
+        assert revived.state_dict() == manager.state_dict()
