@@ -214,7 +214,13 @@ def _serialise(snapshot):
 def _steady_state_run(scenario, data, *, incremental: bool):
     """Five consecutive queries at window/step = 8 over the full
     (unsplit) stream; the first fills the working memory and cache in
-    both modes and is excluded from the timings."""
+    both modes and is excluded from the timings.
+
+    Rule compilation is pinned OFF: this differential gates the
+    *cross-window caching* layer in isolation, and compiled rule
+    bodies (``bench_throughput.py``'s subject) make the legacy
+    recompute cheap enough to dilute the caching signal it measures.
+    """
     engine = RTEC(
         build_traffic_definitions(
             scenario.topology, adaptive=True, noisy_variant="pessimistic"
@@ -224,6 +230,7 @@ def _steady_state_run(scenario, data, *, incremental: bool):
         params=default_traffic_params(),
         start=SPEEDUP_WINDOW_S - STEP_S,
         incremental=incremental,
+        compiled=False,
     )
     engine.feed(data.events, data.facts)
     trace, steady = [], []

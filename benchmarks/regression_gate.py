@@ -1,7 +1,8 @@
 """Bench-regression gate for the recognition hot path.
 
-Runs the recognition benchmarks (``bench_fig4_recognition.py`` and
-``bench_ablation_window_step.py``) in smoke mode and compares each
+Runs the recognition benchmarks (``bench_fig4_recognition.py``,
+``bench_ablation_window_step.py`` and ``bench_throughput.py``) in
+smoke mode and compares each
 test's runtime against a recorded baseline, failing when throughput
 regresses by more than the tolerance (default 15%).
 
@@ -24,7 +25,7 @@ Benchmarks publish the figures to gate via
 ``benchmark.extra_info["gate_metrics"]`` — process-time recognition
 costs, free of the harness's wall-clock scheduling noise; tests
 without them are gated on their wall-clock mean.  Results — and the
-baseline being compared against — live in ``BENCH_pr4.json``::
+baseline being compared against — live in ``BENCH_pr6.json``::
 
     {
       "scale":     <REPRO_BENCH_SCALE used>,
@@ -35,7 +36,7 @@ baseline being compared against — live in ``BENCH_pr4.json``::
     }
 
 Timings are machine-dependent, so the baseline is meaningful only for
-the machine that recorded it; CI should cache ``BENCH_pr4.json`` per
+the machine that recorded it; CI should cache ``BENCH_pr6.json`` per
 runner class (see ``.github/workflows/ci.yml``) and this script
 *bootstraps* — records a fresh baseline and passes — when none exists
 for the current environment.
@@ -58,12 +59,13 @@ from pathlib import Path
 
 HERE = Path(__file__).resolve().parent
 REPO = HERE.parent
-DEFAULT_OUT = REPO / "BENCH_pr4.json"
+DEFAULT_OUT = REPO / "BENCH_pr6.json"
 
 #: Benchmark files guarding the recognition hot path.
 BENCH_FILES = (
     "bench_fig4_recognition.py",
     "bench_ablation_window_step.py",
+    "bench_throughput.py",
 )
 
 #: Allowed slowdown before the gate fails (>15% throughput regression).

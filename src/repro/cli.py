@@ -244,6 +244,21 @@ def _render_metrics(registry) -> str:
                 f"{gauges[name]:>12.0f} items/s"
             )
 
+    evals = counters.get("rtec.compiled.evals", 0)
+    fallbacks = counters.get("rtec.compiled.fallbacks", 0)
+    if evals or fallbacks:
+        lines.append("compiled rule evaluation:")
+        lines.append(f"  {'rtec.compiled.evals':<34} {evals:>8}")
+        lines.append(f"  {'rtec.compiled.fallbacks':<34} {fallbacks:>8}")
+    ingested = counters.get("ingest.events", 0)
+    ingest_rate = gauges.get("ingest.events_per_s")
+    if ingested:
+        rate = (
+            f"  {ingest_rate:>12.0f} SDE/s" if ingest_rate is not None else ""
+        )
+        lines.append("ingest:")
+        lines.append(f"  {'ingest.events':<34} {ingested:>8} SDEs{rate}")
+
     definition_timings = sorted(
         (
             (t.total, name, t)

@@ -8,9 +8,20 @@ Public surface:
 * :mod:`repro.core.rules` — definition DSL (`SimpleFluent`,
   `StaticFluent`, `DerivedEvent`) and the rule evaluation context.
 * :mod:`repro.core.rtec` — the windowed recognition engine.
+* :mod:`repro.core.columns` — columnar (struct-of-arrays) SDE batches
+  and working-memory mirrors for the compiled hot path.
+* :mod:`repro.core.compiled` — vectorised evaluators for the hot rule
+  bodies.
 * :mod:`repro.core.traffic` — the Dublin traffic CE definitions.
 """
 
+from .columns import (
+    ColumnSpec,
+    EventColumns,
+    FactColumns,
+    SDEColumns,
+)
+from .compiled import CompiledRule
 from .events import Event, FluentFact, Occurrence
 from .intervals import (
     IntervalList,
@@ -39,6 +50,11 @@ __all__ = [
     "Event",
     "FluentFact",
     "Occurrence",
+    "ColumnSpec",
+    "EventColumns",
+    "FactColumns",
+    "SDEColumns",
+    "CompiledRule",
     "IntervalList",
     "union_all",
     "intersect_all",

@@ -1,0 +1,749 @@
+"""Columnar (struct-of-arrays) SDE batches and working-memory mirrors.
+
+The per-event-object hot path pays a Python-level attribute access and
+dict lookup per SDE per rule body per query.  This module provides the
+columnar representation behind the compiled fast path:
+
+* :class:`SDEColumns` — the ingestion batch type: one block of
+  ``numpy`` time/arrival arrays per event type (:class:`EventColumns`)
+  or fact name (:class:`FactColumns`).  The scheduler hands the engine
+  one batch per feed pass instead of a list of objects; pending rows
+  stay columnar until admission (:class:`PendingEventRow` /
+  :class:`PendingFactRow` materialise lazily).
+* :class:`ColumnSpec` — a compiled rule's declaration of which payload
+  fields it reads as numeric columns and which identify the grounding
+  token.
+* :class:`ColumnMirror` — a struct-of-arrays mirror maintained
+  alongside a working-memory :class:`~.incremental.TimedColumn`:
+  occurrence times, declared numeric fields and factorised grounding
+  tokens as growable arrays, plus per-token *integer row-index*
+  sub-indexes.  Appends extend the arrays in place; evictions advance
+  a start offset; an out-of-order insert (a delayed SDE) triggers a
+  full rebuild — correctness never depends on the incremental path.
+* views (:class:`MirrorView` / :class:`ListColumnView`) — the uniform
+  read interface compiled evaluators consume; the list-backed build is
+  the fallback for contexts that have no mirror (legacy mode, the
+  token-restricted contexts of dirty-grounding re-derivation).
+
+Everything here is representation only: compiled evaluators
+(:mod:`repro.core.compiled`) read views, and every emitted point is
+built from Python ints and the original payload objects, so the
+recognition output is bit-identical to the interpreter's.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from .events import Event, FluentFact, FluentKey
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Which payload fields a compiled rule reads from a view.
+
+    ``numeric`` fields are exposed as ``float64`` arrays for vectorised
+    comparisons; ``token`` fields form the per-row grounding tuple
+    (e.g. ``(intersection, approach, sensor)``) used for per-token
+    grouping.  Specs are value objects — hashable, mergeable by field
+    union — and must name fields present in every payload of the type.
+    """
+
+    numeric: tuple[str, ...] = ()
+    token: tuple[str, ...] = ()
+
+    def merge(self, other: "ColumnSpec") -> Optional["ColumnSpec"]:
+        """The union spec, or ``None`` when token layouts conflict."""
+        if self.token != other.token:
+            return None
+        if other.numeric == self.numeric:
+            return self
+        merged = tuple(dict.fromkeys(self.numeric + other.numeric))
+        return ColumnSpec(numeric=merged, token=self.token)
+
+
+# ----------------------------------------------------------------------
+# Ingestion batches
+# ----------------------------------------------------------------------
+class EventColumns:
+    """One event type's batch as a struct of arrays.
+
+    Two construction paths share the type:
+
+    * :meth:`from_events` wraps existing :class:`Event` objects —
+      times/arrivals become arrays, payloads stay an object column so
+      materialisation returns payload-identical events (zero-copy);
+    * :meth:`from_arrays` is the fully columnar path for array-native
+      producers (benchmarks, future mediators): no ``Event`` object
+      exists until a row is admitted into the working memory.
+    """
+
+    __slots__ = (
+        "type", "times", "arrivals", "payloads", "numeric", "extra",
+        "_times_list", "_arrivals_list",
+    )
+
+    def __init__(
+        self,
+        etype: str,
+        times: np.ndarray,
+        arrivals: np.ndarray,
+        *,
+        payloads: Optional[Sequence[Mapping[str, Any]]] = None,
+        numeric: Optional[Mapping[str, np.ndarray]] = None,
+        extra: Optional[Mapping[str, Sequence[Any]]] = None,
+    ):
+        self.type = etype
+        self.times = times
+        self.arrivals = arrivals
+        self.payloads = list(payloads) if payloads is not None else None
+        self.numeric = dict(numeric or {})
+        self.extra = {k: list(v) for k, v in (extra or {}).items()}
+        self._times_list: Optional[list[int]] = None
+        self._arrivals_list: Optional[list[int]] = None
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @classmethod
+    def from_events(cls, etype: str, events: Sequence[Event]) -> "EventColumns":
+        n = len(events)
+        return cls(
+            etype,
+            np.fromiter((ev.time for ev in events), np.int64, count=n),
+            np.fromiter((ev.arrival for ev in events), np.int64, count=n),
+            payloads=[ev.payload for ev in events],
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        etype: str,
+        times,
+        *,
+        arrivals=None,
+        numeric: Optional[Mapping[str, Any]] = None,
+        extra: Optional[Mapping[str, Sequence[Any]]] = None,
+    ) -> "EventColumns":
+        """Build from raw arrays (anything :func:`numpy.asarray` takes).
+
+        ``arrivals`` defaults to the occurrence times; ``numeric``
+        columns become ``float64``, ``extra`` columns stay Python
+        objects (strings, ids).  All columns must share one length.
+        """
+        times = np.asarray(times, dtype=np.int64)
+        arr = (
+            times
+            if arrivals is None
+            else np.asarray(arrivals, dtype=np.int64)
+        )
+        numeric_cols = {
+            name: np.asarray(col, dtype=np.float64)
+            for name, col in (numeric or {}).items()
+        }
+        n = len(times)
+        if len(arr) != n or any(
+            len(col) != n for col in numeric_cols.values()
+        ) or any(len(col) != n for col in (extra or {}).values()):
+            raise ValueError(
+                f"column length mismatch for event type {etype!r}"
+            )
+        return cls(etype, times, arr, numeric=numeric_cols, extra=extra)
+
+    # -- lazy Python-int caches (tuple sort keys, payload times) -------
+    @property
+    def times_list(self) -> list[int]:
+        if self._times_list is None:
+            self._times_list = self.times.tolist()
+        return self._times_list
+
+    @property
+    def arrivals_list(self) -> list[int]:
+        if self._arrivals_list is None:
+            self._arrivals_list = self.arrivals.tolist()
+        return self._arrivals_list
+
+    def event(self, i: int) -> Event:
+        """Materialise row ``i`` as an :class:`Event` (payload-identical
+        for :meth:`from_events` batches)."""
+        if self.payloads is not None:
+            payload = self.payloads[i]
+        else:
+            payload = {
+                name: float(col[i]) for name, col in self.numeric.items()
+            }
+            for name, col in self.extra.items():
+                payload[name] = col[i]
+        return Event(
+            self.type, self.times_list[i], payload, self.arrivals_list[i]
+        )
+
+
+class FactColumns:
+    """One fact name's batch: times/arrivals as arrays, keys and values
+    as object columns (fact values are arbitrary — ``gps`` carries a
+    mapping)."""
+
+    __slots__ = (
+        "name", "keys", "values", "times", "arrivals",
+        "_times_list", "_arrivals_list",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        keys: Sequence[FluentKey],
+        values: Sequence[Any],
+        times: np.ndarray,
+        arrivals: np.ndarray,
+    ):
+        self.name = name
+        self.keys = list(keys)
+        self.values = list(values)
+        self.times = times
+        self.arrivals = arrivals
+        self._times_list: Optional[list[int]] = None
+        self._arrivals_list: Optional[list[int]] = None
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @classmethod
+    def from_facts(
+        cls, name: str, facts: Sequence[FluentFact]
+    ) -> "FactColumns":
+        n = len(facts)
+        return cls(
+            name,
+            [f.key for f in facts],
+            [f.value for f in facts],
+            np.fromiter((f.time for f in facts), np.int64, count=n),
+            np.fromiter((f.arrival for f in facts), np.int64, count=n),
+        )
+
+    @property
+    def times_list(self) -> list[int]:
+        if self._times_list is None:
+            self._times_list = self.times.tolist()
+        return self._times_list
+
+    @property
+    def arrivals_list(self) -> list[int]:
+        if self._arrivals_list is None:
+            self._arrivals_list = self.arrivals.tolist()
+        return self._arrivals_list
+
+    def fact(self, i: int) -> FluentFact:
+        """Materialise row ``i`` as a :class:`FluentFact` (key and
+        value are the original object references)."""
+        return FluentFact(
+            self.name,
+            self.keys[i],
+            self.values[i],
+            self.times_list[i],
+            self.arrivals_list[i],
+        )
+
+
+class PendingRow:
+    """A not-yet-materialised batch row in the pending buffer.
+
+    The working memory's pending entries are ``(arrival, seq, is_fact,
+    item)`` tuples; for batch feeds the item is one of these handles,
+    resolved into the real record only at admission (or when the
+    buffer is pickled).  ``(arrival, seq)`` is unique, so the tuple
+    sort never compares the handle itself.
+    """
+
+    __slots__ = ("block", "i")
+
+    def __init__(self, block, i: int):
+        self.block = block
+        self.i = i
+
+
+class PendingEventRow(PendingRow):
+    """A pending :class:`EventColumns` row."""
+
+    def resolve(self) -> Event:
+        """Materialise the row as an :class:`Event`."""
+        return self.block.event(self.i)
+
+
+class PendingFactRow(PendingRow):
+    """A pending :class:`FactColumns` row."""
+
+    def resolve(self) -> FluentFact:
+        """Materialise the row as a :class:`FluentFact`."""
+        return self.block.fact(self.i)
+
+
+class SDEColumns:
+    """A heterogeneous SDE batch: event blocks plus fact blocks.
+
+    The canonical row order — event blocks in insertion order, each
+    top to bottom, then fact blocks likewise — is shared by the
+    buffering and the stream-refill paths, so a batch-fed engine
+    assigns the same sequence numbers whether the stream is fed live
+    or regenerated after a crash.
+    """
+
+    __slots__ = ("events", "facts")
+
+    def __init__(
+        self,
+        events: Sequence[EventColumns] = (),
+        facts: Sequence[FactColumns] = (),
+    ):
+        self.events = tuple(events)
+        self.facts = tuple(facts)
+
+    @classmethod
+    def from_sdes(
+        cls,
+        events: Iterable[Event] = (),
+        facts: Iterable[FluentFact] = (),
+    ) -> "SDEColumns":
+        """Group an object stream into per-type / per-name blocks.
+
+        Grouping preserves each block's relative order; the engine
+        sorts admitted rows by ``(time, seq)`` per column anyway, and
+        cross-type order never affects recognition output (the parity
+        tests pin this).
+        """
+        by_type: dict[str, list[Event]] = {}
+        for ev in events:
+            by_type.setdefault(ev.type, []).append(ev)
+        by_name: dict[str, list[FluentFact]] = {}
+        for fact in facts:
+            by_name.setdefault(fact.name, []).append(fact)
+        return cls(
+            [
+                EventColumns.from_events(etype, evs)
+                for etype, evs in by_type.items()
+            ],
+            [
+                FactColumns.from_facts(name, fs)
+                for name, fs in by_name.items()
+            ],
+        )
+
+    @property
+    def n_events(self) -> int:
+        return sum(len(block) for block in self.events)
+
+    @property
+    def n_facts(self) -> int:
+        return sum(len(block) for block in self.facts)
+
+    @property
+    def n(self) -> int:
+        return self.n_events + self.n_facts
+
+    def max_arrival(self) -> Optional[int]:
+        """Latest arrival time in the batch (``None`` when empty)."""
+        candidates = [
+            int(block.arrivals.max())
+            for block in (*self.events, *self.facts)
+            if len(block)
+        ]
+        return max(candidates) if candidates else None
+
+    def validate(self) -> None:
+        """Reject negative occurrence times, as :meth:`RTEC.feed` does
+        per object — vectorised over each block."""
+        for block in self.events:
+            if len(block) and int(block.times.min()) < 0:
+                raise ValueError(
+                    f"event of type {block.type!r} occurs at negative "
+                    "time; SDE timestamps must be >= 0"
+                )
+        for block in self.facts:
+            if len(block) and int(block.times.min()) < 0:
+                raise ValueError(
+                    f"fluent fact {block.name!r} occurs at negative "
+                    "time; SDE timestamps must be >= 0"
+                )
+
+    def rows(self) -> Iterator[tuple[int, bool, PendingRow]]:
+        """Canonical row enumeration: ``(arrival, is_fact, handle)``."""
+        for block in self.events:
+            arrivals = block.arrivals_list
+            for i in range(len(arrivals)):
+                yield arrivals[i], False, PendingEventRow(block, i)
+        for block in self.facts:
+            arrivals = block.arrivals_list
+            for i in range(len(arrivals)):
+                yield arrivals[i], True, PendingFactRow(block, i)
+
+    def iter_events(self) -> Iterator[Event]:
+        """Materialise every event row (legacy-engine feed path)."""
+        for block in self.events:
+            for i in range(len(block)):
+                yield block.event(i)
+
+    def iter_facts(self) -> Iterator[FluentFact]:
+        """Materialise every fact row (legacy-engine feed path)."""
+        for block in self.facts:
+            for i in range(len(block)):
+                yield block.fact(i)
+
+
+# ----------------------------------------------------------------------
+# Working-memory mirrors
+# ----------------------------------------------------------------------
+def _grow(array: np.ndarray, n: int, needed: int) -> np.ndarray:
+    """An array with capacity for ``n + needed`` rows (amortised)."""
+    cap = len(array)
+    if n + needed <= cap:
+        return array
+    new_cap = max(cap * 2, n + needed, 64)
+    grown = np.empty(new_cap, dtype=array.dtype)
+    grown[:n] = array[:n]
+    return grown
+
+
+class ColumnMirror:
+    """Struct-of-arrays mirror of one working-memory column.
+
+    Mirrors the column's ``(time, seq)``-sorted items as ``int64``
+    times, declared ``float64`` numeric fields and factorised grounding
+    tokens, plus per-token integer row-index sub-indexes.  Kept
+    consistent through three operations, matched to the column's
+    mutation counters:
+
+    * *append* (in-order arrival, the common case): encode the new
+      suffix in place;
+    * *evict* (window slide): advance the dead-prefix offset — O(1),
+      with periodic compaction;
+    * *out-of-order insert* (a delayed SDE landed mid-column): full
+      rebuild.  Rare by construction, and the rebuild costs what a
+      single legacy query already paid per window.
+
+    Mirrors are process-local caches: excluded from pickling and
+    rebuilt lazily after a restore.
+    """
+
+    __slots__ = (
+        "spec", "_column", "_times", "_numeric", "_token_tuples",
+        "_groups", "_n", "_dead", "_seen_evictions", "_seen_mutations",
+        "version", "_views", "_token_rows_cache",
+    )
+
+    def __init__(self, column, spec: ColumnSpec):
+        self.spec = spec
+        self._column = column
+        self._times = np.empty(0, dtype=np.int64)
+        self._numeric: dict[str, np.ndarray] = {
+            name: np.empty(0, dtype=np.float64) for name in spec.numeric
+        }
+        #: storage-row -> grounding tuple (object column).
+        self._token_tuples: list[tuple] = []
+        #: grounding tuple -> ascending storage-row indexes.
+        self._groups: dict[tuple, list[int]] = {}
+        self._n = 0  # rows encoded (live + dead prefix)
+        self._dead = 0  # evicted rows still occupying the prefix
+        self._seen_evictions = 0
+        self._seen_mutations = 0
+        self.version = 0
+        self._views: dict[tuple[int, int], MirrorView] = {}
+        self._token_rows_cache: Optional[dict[tuple, np.ndarray]] = None
+
+    # -- synchronisation ----------------------------------------------
+    def sync(self) -> None:
+        """Bring the mirror up to date with its column."""
+        column = self._column
+        if column.mutations != self._seen_mutations:
+            self._rebuild()
+            return
+        changed = False
+        if column.evictions != self._seen_evictions:
+            self._dead += column.evictions - self._seen_evictions
+            self._seen_evictions = column.evictions
+            if self._dead > self._n:
+                # Evictions overshot the encoded rows: the column lost
+                # rows that were appended *and* evicted between syncs,
+                # so the offset arithmetic no longer identifies the
+                # live prefix — re-encode from scratch.
+                self._rebuild()
+                return
+            changed = True
+            if self._dead > 256 and self._dead * 2 > self._n:
+                self._compact()
+        new = len(column.items) - (self._n - self._dead)
+        if new > 0:
+            self._encode(column.items[self._n - self._dead:], column.times)
+            changed = True
+        if changed:
+            self.version += 1
+            self._views.clear()
+            self._token_rows_cache = None
+
+    def _rebuild(self) -> None:
+        column = self._column
+        self._times = np.empty(0, dtype=np.int64)
+        self._numeric = {
+            name: np.empty(0, dtype=np.float64) for name in self.spec.numeric
+        }
+        self._token_tuples = []
+        self._groups = {}
+        self._n = 0
+        self._dead = 0
+        self._seen_mutations = column.mutations
+        self._seen_evictions = column.evictions
+        self._encode(column.items, column.times)
+        self.version += 1
+        self._views.clear()
+        self._token_rows_cache = None
+
+    def _encode(self, items, times: list[int]) -> None:
+        """Append ``items`` (the column's newest suffix) to the arrays."""
+        k = len(items)
+        if not k:
+            return
+        n = self._n
+        self._times = _grow(self._times, n, k)
+        self._times[n:n + k] = times[len(times) - k:]
+        for name in self.spec.numeric:
+            col = _grow(self._numeric[name], n, k)
+            payload_values = [item.payload[name] for item in items]
+            col[n:n + k] = payload_values
+            self._numeric[name] = col
+        token_fields = self.spec.token
+        tuples = self._token_tuples
+        groups = self._groups
+        for offset, item in enumerate(items):
+            payload = item.payload
+            token = tuple(payload[f] for f in token_fields)
+            tuples.append(token)
+            rows = groups.get(token)
+            if rows is None:
+                rows = groups[token] = []
+            rows.append(n + offset)
+        self._n = n + k
+
+    def _compact(self) -> None:
+        """Shift the live suffix down over the dead prefix."""
+        dead, n = self._dead, self._n
+        live = n - dead
+        self._times[:live] = self._times[dead:n].copy()
+        for name, col in self._numeric.items():
+            col[:live] = col[dead:n].copy()
+        del self._token_tuples[:dead]
+        compacted: dict[tuple, list[int]] = {}
+        for token, rows in self._groups.items():
+            kept = [r - dead for r in rows if r >= dead]
+            if kept:
+                compacted[token] = kept
+        self._groups = compacted
+        self._n = live
+        self._dead = 0
+
+    # -- reads ---------------------------------------------------------
+    def live_view(self) -> "MirrorView":
+        """The whole live window as a view."""
+        return self._view(self._dead, self._n)
+
+    def view_bounds(self, i: int, j: int) -> "MirrorView":
+        """A view over the column's item range ``[i, j)``."""
+        return self._view(self._dead + i, self._dead + j)
+
+    def _view(self, a: int, b: int) -> "MirrorView":
+        view = self._views.get((a, b))
+        if view is None:
+            view = self._views[(a, b)] = MirrorView(self, a, b)
+        return view
+
+    def item(self, storage_row: int):
+        """The underlying record at an absolute storage row."""
+        return self._column.items[storage_row - self._dead]
+
+    def live_token_rows(self) -> dict[tuple, np.ndarray]:
+        """Per-token live row indexes, relative to the live window."""
+        cached = self._token_rows_cache
+        if cached is None:
+            dead = self._dead
+            cached = {}
+            for token, rows in self._groups.items():
+                arr = np.asarray(rows, dtype=np.int64)
+                k = int(np.searchsorted(arr, dead)) if dead else 0
+                if k < len(arr):
+                    cached[token] = arr[k:] - dead
+            self._token_rows_cache = cached
+        return cached
+
+
+class MirrorView:
+    """A slice of a :class:`ColumnMirror` in the uniform view shape."""
+
+    __slots__ = ("_mirror", "_a", "_b", "n", "times", "_times_list",
+                 "_tokens", "_token_rows")
+
+    def __init__(self, mirror: ColumnMirror, a: int, b: int):
+        self._mirror = mirror
+        self._a = a
+        self._b = b
+        self.n = b - a
+        self.times = mirror._times[a:b]
+        self._times_list: Optional[list[int]] = None
+        self._tokens: Optional[list[tuple]] = None
+        self._token_rows: Optional[dict[tuple, np.ndarray]] = None
+
+    def covers(self, spec: ColumnSpec) -> bool:
+        """Whether this view exposes everything ``spec`` requires
+        (same grounding-token layout, numeric fields a superset)."""
+        mine = self._mirror.spec
+        return mine.token == spec.token and all(
+            name in mine.numeric for name in spec.numeric
+        )
+
+    @property
+    def times_list(self) -> list[int]:
+        if self._times_list is None:
+            self._times_list = self.times.tolist()
+        return self._times_list
+
+    def col(self, name: str) -> np.ndarray:
+        """The ``float64`` array of a declared numeric payload field."""
+        return self._mirror._numeric[name][self._a:self._b]
+
+    @property
+    def tokens(self) -> list[tuple]:
+        if self._tokens is None:
+            self._tokens = self._mirror._token_tuples[self._a:self._b]
+        return self._tokens
+
+    def token_rows(self) -> dict[tuple, np.ndarray]:
+        """Ascending row indexes (relative to this view) per token."""
+        if self._token_rows is None:
+            mirror = self._mirror
+            if self._a == mirror._dead and self._b == mirror._n:
+                self._token_rows = mirror.live_token_rows()
+            else:
+                a, b = self._a, self._b
+                out: dict[tuple, np.ndarray] = {}
+                for token, rows in mirror._groups.items():
+                    arr = np.asarray(rows, dtype=np.int64)
+                    i = int(np.searchsorted(arr, a))
+                    j = int(np.searchsorted(arr, b))
+                    if i < j:
+                        out[token] = arr[i:j] - a
+                self._token_rows = out
+        return self._token_rows
+
+    def item(self, i: int):
+        """The underlying record object at view row ``i``."""
+        return self._mirror.item(self._a + i)
+
+
+class ListColumnView:
+    """The fallback view, built from an event list per requested spec.
+
+    Used where no mirror applies: legacy engines, token-restricted
+    contexts, and column specs a working memory was not declared for.
+    Construction is O(n) — still far cheaper than interpreting, and
+    contexts memoise it per ``(event type, spec)``.
+    """
+
+    __slots__ = ("_events", "spec", "n", "times", "_numeric",
+                 "_times_list", "_tokens", "_token_rows")
+
+    def __init__(self, events: Sequence[Event], spec: ColumnSpec):
+        self._events = events
+        self.spec = spec
+        n = self.n = len(events)
+        self.times = np.fromiter(
+            (ev.time for ev in events), np.int64, count=n
+        )
+        self._numeric: dict[str, np.ndarray] = {}
+        self._times_list: Optional[list[int]] = None
+        self._tokens: Optional[list[tuple]] = None
+        self._token_rows: Optional[dict[tuple, np.ndarray]] = None
+
+    def covers(self, spec: ColumnSpec) -> bool:
+        """Whether this view satisfies ``spec`` (see
+        :meth:`MirrorView.covers`)."""
+        mine = self.spec
+        return mine.token == spec.token and all(
+            name in mine.numeric for name in spec.numeric
+        )
+
+    @property
+    def times_list(self) -> list[int]:
+        if self._times_list is None:
+            self._times_list = self.times.tolist()
+        return self._times_list
+
+    def col(self, name: str) -> np.ndarray:
+        """The ``float64`` array of a payload field, built on demand."""
+        col = self._numeric.get(name)
+        if col is None:
+            col = self._numeric[name] = np.fromiter(
+                (ev.payload[name] for ev in self._events),
+                np.float64,
+                count=self.n,
+            )
+        return col
+
+    @property
+    def tokens(self) -> list[tuple]:
+        if self._tokens is None:
+            fields = self.spec.token
+            self._tokens = [
+                tuple(ev.payload[f] for f in fields) for ev in self._events
+            ]
+        return self._tokens
+
+    def token_rows(self) -> dict[tuple, np.ndarray]:
+        """Ascending row indexes per grounding token (see
+        :meth:`MirrorView.token_rows`)."""
+        if self._token_rows is None:
+            grouped: dict[tuple, list[int]] = {}
+            for i, token in enumerate(self.tokens):
+                rows = grouped.get(token)
+                if rows is None:
+                    rows = grouped[token] = []
+                rows.append(i)
+            self._token_rows = {
+                token: np.asarray(rows, dtype=np.int64)
+                for token, rows in grouped.items()
+            }
+        return self._token_rows
+
+    def item(self, i: int) -> Event:
+        """The underlying event object at view row ``i``."""
+        return self._events[i]
+
+
+class ColumnSource:
+    """A deferred view over one working-memory column, handed to rule
+    contexts by the engine.  ``view()`` syncs the mirror on first use
+    within the query, so definitions that fall back to the interpreter
+    never pay for encoding."""
+
+    __slots__ = ("column", "spec", "lo", "hi")
+
+    def __init__(
+        self,
+        column,
+        spec: ColumnSpec,
+        lo: Optional[int] = None,
+        hi: Optional[int] = None,
+    ):
+        self.column = column
+        self.spec = spec
+        self.lo = lo
+        self.hi = hi
+
+    def view(self) -> MirrorView:
+        """Sync the mirror and return the bounded (or live) view."""
+        mirror = self.column.mirror_for(self.spec)
+        mirror.sync()
+        if self.lo is None:
+            return mirror.live_view()
+        i, j = self.column.bounds(self.lo, self.hi)
+        return mirror.view_bounds(i, j)

@@ -1,0 +1,308 @@
+"""Vectorised evaluators for the hot RTEC rule bodies.
+
+The interpreter evaluates a rule body by iterating event objects and
+probing their payload mappings per event, per rule, per query.  For the
+simple body shapes that dominate the traffic suite — threshold
+comparisons over one event type, per-token consecutive-reading scans,
+banded classification — the whole body is expressible as a handful of
+``numpy`` operations over the columnar views of
+:mod:`repro.core.columns`.  Each :class:`CompiledRule` here lowers one
+such body; the engine calls :meth:`CompiledRule.derive` wherever it
+would have called the definition's interpreted rule bodies, in every
+evaluation context (full window, restricted range, dirty-grounding) —
+the view abstraction makes the contexts interchangeable.
+
+Parity is the hard constraint, enforced by the golden-trace and
+Hypothesis differential suites: a compiled body must yield exactly the
+point multiset the interpreted body would.  Two practices keep that
+true:
+
+* every emitted time coordinate is converted to a Python ``int``
+  (``numpy`` scalars would leak into snapshots and serialise
+  differently);
+* payload construction always reads the *original* objects
+  (:meth:`~repro.core.columns.MirrorView.item`), never round-trips
+  through ``float64`` — an integer payload field must stay an integer.
+
+Anything these shapes can't express (spatial joins, fluent-dependent
+bodies, count thresholds over interval algebra) simply stays on the
+interpreter; :meth:`repro.core.rules.Definition.compiled` returns
+``None`` and the engine counts the evaluation as a fallback.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any, Optional
+
+import numpy as np
+
+from .columns import ColumnSpec
+from .events import Occurrence
+
+#: Columnar layout of the SCATS ``traffic`` SDE: the two measurements
+#: as numeric columns, the sensor identity as the grounding token.
+TRAFFIC_COLUMNS = ColumnSpec(
+    numeric=("density", "flow"),
+    token=("intersection", "approach", "sensor"),
+)
+
+#: Columnar layout of the bus ``move`` SDE.
+MOVE_COLUMNS = ColumnSpec(numeric=("delay",), token=("bus",))
+
+
+class CompiledRule:
+    """A vectorised drop-in for one definition's rule bodies.
+
+    ``columns`` declares, per input event type, the
+    :class:`~repro.core.columns.ColumnSpec` the evaluator reads — the
+    engine uses it to pre-declare working-memory mirrors so the arrays
+    are maintained incrementally rather than rebuilt per query.
+    ``derive`` returns the same stream dict
+    :meth:`repro.core.rtec.RTEC._extract_streams` would
+    (``{"occ": [...]}`` or ``{"init": [...], "term": [...]}``).
+
+    Instances are constructed once per engine with thresholds bound
+    from the engine's parameters, hold only plain values, and must
+    remain picklable (engines ship to process-pool workers whole).
+    """
+
+    columns: Mapping[str, ColumnSpec] = {}
+
+    def derive(self, ctx) -> dict[str, list[Any]]:
+        """Evaluate the rule body over the context's columnar views.
+
+        Returns the interpreter-shaped stream dict — ``{"occ": [...]}``
+        for derived events, ``{"init": [...], "term": [...]}`` for
+        fluents — with every emitted time a Python ``int``.
+        """
+        raise NotImplementedError
+
+
+class CompiledScatsCongestion(CompiledRule):
+    """Rule-set (2): one threshold conjunction per ``traffic`` reading.
+
+    ``init`` where ``density >= hi and flow <= lo``; ``term`` is the
+    exact complement — both sides of the fundamental-diagram test fall
+    out of a single boolean mask.
+    """
+
+    columns = {"traffic": TRAFFIC_COLUMNS}
+
+    def __init__(self, density_hi: float, flow_lo: float):
+        self.density_hi = density_hi
+        self.flow_lo = flow_lo
+
+    def derive(self, ctx) -> dict[str, list[Any]]:
+        """One boolean mask over the batch; ``init`` where it holds,
+        ``term`` where it does not."""
+        view = ctx.events_columns("traffic", TRAFFIC_COLUMNS)
+        if not view.n:
+            return {"init": [], "term": []}
+        mask = (view.col("density") >= self.density_hi) & (
+            view.col("flow") <= self.flow_lo
+        )
+        tokens = view.tokens
+        times = view.times_list
+        init = [
+            (tokens[i], times[i]) for i in np.flatnonzero(mask).tolist()
+        ]
+        term = [
+            (tokens[i], times[i]) for i in np.flatnonzero(~mask).tolist()
+        ]
+        return {"init": init, "term": term}
+
+
+class CompiledTrafficRegime(CompiledRule):
+    """Banded density classification into the three traffic regimes.
+
+    Each reading initiates exactly one regime value (valued-fluent
+    semantics displace the previous value); there are no explicit
+    terminations.  The two band thresholds collapse into a nested
+    ``np.where``.
+    """
+
+    columns = {"traffic": TRAFFIC_COLUMNS}
+
+    #: Must match :attr:`repro.core.traffic.scats.TrafficRegime.REGIMES`.
+    REGIMES = ("free", "synchronized", "congested")
+
+    def __init__(self, density_hi: float, synchronized_density: float):
+        self.density_hi = density_hi
+        self.synchronized_density = synchronized_density
+
+    def derive(self, ctx) -> dict[str, list[Any]]:
+        """Band-classify every reading; each row initiates its regime
+        value (valued-fluent semantics need no terminations)."""
+        view = ctx.events_columns("traffic", TRAFFIC_COLUMNS)
+        if not view.n:
+            return {"init": [], "term": []}
+        density = view.col("density")
+        band = np.where(
+            density >= self.density_hi,
+            2,
+            np.where(density >= self.synchronized_density, 1, 0),
+        ).tolist()
+        tokens = view.tokens
+        times = view.times_list
+        regimes = self.REGIMES
+        init = [
+            (tokens[i], regimes[band[i]], times[i])
+            for i in range(view.n)
+        ]
+        return {"init": init, "term": []}
+
+
+class CompiledTrafficTrend(CompiledRule):
+    """Monotone-run detection over each sensor's consecutive readings.
+
+    All tokens are evaluated in ONE flattened pass: the per-token row
+    groups are concatenated, the reading steps become a single
+    ``np.diff`` with the steps that cross a token boundary masked out,
+    and a trend initiation is a window of ``k`` consecutive qualifying
+    steps found with a cumulative-sum window count (a boundary step
+    inside a window forces the count below ``k``, so runs can never
+    leak across tokens).  A termination is any in-token step that
+    breaks the direction.  Per-token numpy calls would drown the
+    vector win in call overhead — windows here contain only tens of
+    readings per sensor.
+
+    The interpreted body's ``elif`` gives rising priority when
+    ``delta`` admits both directions at once, mirrored here by masking
+    falling windows with the rising ones.
+    """
+
+    columns = {"traffic": TRAFFIC_COLUMNS}
+
+    def __init__(self, quantity: str, k: int, delta: float):
+        self.quantity = quantity
+        self.k = k
+        self.delta = delta
+
+    def derive(self, ctx) -> dict[str, list[Any]]:
+        """Flattened diff/run-window pass over every token at once,
+        emitting rising/falling trend initiations and direction-break
+        terminations."""
+        view = ctx.events_columns("traffic", TRAFFIC_COLUMNS)
+        init: list[Any] = []
+        term: list[Any] = []
+        if not view.n:
+            return {"init": init, "term": term}
+        groups = [
+            (token, rows)
+            for token, rows in view.token_rows().items()
+            if len(rows) >= 2
+        ]
+        if not groups:
+            return {"init": init, "term": term}
+        k = self.k
+        delta = self.delta
+        rising_keys = [token + ("rising",) for token, _ in groups]
+        falling_keys = [token + ("falling",) for token, _ in groups]
+        lengths = np.fromiter(
+            (len(rows) for _, rows in groups), np.int64, count=len(groups)
+        )
+        order = np.concatenate([rows for _, rows in groups])
+        vals = view.col(self.quantity)[order]
+        times = view.times[order].tolist()
+        #: Group index of each flattened element (and of each in-token
+        #: step, which starts at that element).
+        element_group = np.repeat(
+            np.arange(len(groups)), lengths
+        ).tolist()
+        steps = np.diff(vals)
+        valid = np.ones(len(steps), dtype=bool)
+        last = np.cumsum(lengths) - 1
+        if len(last) > 1:
+            valid[last[:-1]] = False  # steps crossing a token boundary
+        rising = (steps >= delta) & valid
+        falling = (steps <= -delta) & valid
+        # Terminations: any in-token step that fails a direction's
+        # bound terminates that direction at the later reading.
+        for j in np.flatnonzero(valid & ~rising).tolist():
+            term.append((rising_keys[element_group[j]], times[j + 1]))
+        for j in np.flatnonzero(valid & ~falling).tolist():
+            term.append((falling_keys[element_group[j]], times[j + 1]))
+        # Initiations: k consecutive qualifying steps, anchored at the
+        # reading that completes the run.  Window counts via cumsum:
+        # sums[j] = qualifying steps among steps[j .. j+k-1].
+        if k < 1 or len(steps) < k:
+            return {"init": init, "term": term}
+        cs_r = np.concatenate(([0], np.cumsum(rising)))
+        cs_f = np.concatenate(([0], np.cumsum(falling)))
+        rising_runs = (cs_r[k:] - cs_r[:-k]) == k
+        falling_runs = (cs_f[k:] - cs_f[:-k]) == k
+        falling_runs &= ~rising_runs
+        for j in np.flatnonzero(rising_runs).tolist():
+            init.append((rising_keys[element_group[j]], times[j + k]))
+        for j in np.flatnonzero(falling_runs).tolist():
+            init.append((falling_keys[element_group[j]], times[j + k]))
+        return {"init": init, "term": term}
+
+
+class CompiledDelayIncrease(CompiledRule):
+    """Section 4.1's ``delayIncrease``: consecutive-pair deltas per bus.
+
+    The pair predicate (``0 < dt < t_max`` and ``delay step > d``)
+    vectorises per bus; only the (rare) hits fall back to Python for
+    the ``gps`` join and the payload, which is built from the original
+    event objects so integer delay fields survive untouched.
+    """
+
+    columns = {"move": MOVE_COLUMNS}
+
+    def __init__(
+        self, name: str, delay_delta: float, delay_window: float
+    ):
+        self.name = name
+        self.delay_delta = delay_delta
+        self.delay_window = delay_window
+
+    def derive(self, ctx) -> dict[str, list[Any]]:
+        """Vectorised pair predicate per bus; hits join ``gps`` and
+        build occurrences from the original event objects."""
+        view = ctx.events_columns("move", MOVE_COLUMNS)
+        occ: list[Occurrence] = []
+        if not view.n:
+            return {"occ": occ}
+        delays = view.col("delay")
+        all_times = view.times
+        d = self.delay_delta
+        t_max = self.delay_window
+        for token, rows in view.token_rows().items():
+            if len(rows) < 2:
+                continue
+            times = all_times[rows]
+            dt = np.diff(times)
+            dd = np.diff(delays[rows])
+            hits = np.flatnonzero((dt > 0) & (dt < t_max) & (dd > d))
+            if not len(hits):
+                continue
+            bus = token[0]
+            rows_list = rows.tolist()
+            times_list = times.tolist()
+            for j in hits.tolist():
+                gps_prev = ctx.fact_at("gps", (bus,), times_list[j])
+                gps_cur = ctx.fact_at("gps", (bus,), times_list[j + 1])
+                if gps_prev is None or gps_cur is None:
+                    continue
+                prev_ev = view.item(rows_list[j])
+                cur_ev = view.item(rows_list[j + 1])
+                occ.append(
+                    Occurrence(
+                        self.name,
+                        (bus,),
+                        times_list[j + 1],
+                        {
+                            "bus": bus,
+                            "from_lon": gps_prev["lon"],
+                            "from_lat": gps_prev["lat"],
+                            "lon": gps_cur["lon"],
+                            "lat": gps_cur["lat"],
+                            "delay_increase": (
+                                cur_ev["delay"] - prev_ev["delay"]
+                            ),
+                        },
+                    )
+                )
+        return {"occ": occ}

@@ -46,6 +46,9 @@ from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Optional
 
+import numpy as np
+
+from .columns import ColumnMirror, ColumnSpec, PendingRow, SDEColumns
 from .events import Event, FluentFact, FluentKey, from_row, to_row
 from .intervals import IntervalList
 
@@ -147,12 +150,21 @@ class TimedColumn:
     the lists the legacy engine builds per query.
     """
 
-    __slots__ = ("order", "times", "items")
+    __slots__ = ("order", "times", "items", "evictions", "mutations",
+                 "mirror")
 
     def __init__(self) -> None:
         self.order: list[tuple[int, int]] = []
         self.times: list[int] = []
         self.items: list[Any] = []
+        #: cumulative count of evicted items — lets a columnar mirror
+        #: advance its dead-prefix offset without diffing the list.
+        self.evictions = 0
+        #: count of out-of-order inserts — a change invalidates any
+        #: mirror's incremental state (rows moved mid-column).
+        self.mutations = 0
+        #: lazily attached :class:`~repro.core.columns.ColumnMirror`.
+        self.mirror: Optional[ColumnMirror] = None
 
     def insert(self, time: int, seq: int, item: Any) -> None:
         """Insert an item at its ``(time, seq)`` position."""
@@ -168,6 +180,7 @@ class TimedColumn:
         order.insert(i, key)
         self.times.insert(i, time)
         self.items.insert(i, item)
+        self.mutations += 1
 
     def evict(self, horizon: int) -> None:
         """Drop every item with occurrence time ``<= horizon``."""
@@ -176,10 +189,21 @@ class TimedColumn:
             del self.order[:cut]
             del self.times[:cut]
             del self.items[:cut]
+            self.evictions += cut
+
+    def mirror_for(self, spec: ColumnSpec) -> ColumnMirror:
+        """The columnar mirror of this column under ``spec``, created
+        on first use (callers :meth:`~ColumnMirror.sync` it)."""
+        mirror = self.mirror
+        if mirror is None or mirror.spec != spec:
+            mirror = self.mirror = ColumnMirror(self, spec)
+        return mirror
 
     # Checkpoint fast path: serialise items as compact rows (see
     # ``events.to_row``) so the pickler stays on its C path; ``times``
-    # is derivable from ``order`` and not stored.
+    # is derivable from ``order`` and not stored.  Mirrors and their
+    # sync counters are process-local caches — dropped on pickle and
+    # rebuilt lazily after restore.
     def __getstate__(self):
         return (self.order, [to_row(item) for item in self.items])
 
@@ -188,6 +212,9 @@ class TimedColumn:
         self.order = order
         self.times = [time for time, _ in order]
         self.items = [from_row(row) for row in rows]
+        self.evictions = 0
+        self.mutations = 0
+        self.mirror = None
 
     def bounds(self, lo: int, hi: int) -> tuple[int, int]:
         """Index bounds of the items with time in ``(lo, hi]``."""
@@ -226,10 +253,17 @@ class WorkingMemory:
         ] = {}
         #: (arrival, seq, is_fact, item) awaiting admission; sorted
         #: lazily — inputs mostly arrive in order, so a dirty-flagged
-        #: list beats a heap's per-item push/pop.
+        #: list beats a heap's per-item push/pop.  For batch feeds the
+        #: item may be a lazy :class:`~repro.core.columns.PendingRow`,
+        #: materialised only at admission; ``(arrival, seq)`` is unique,
+        #: so sorting never compares the item itself.
         self._pending: list[tuple[int, int, bool, Any]] = []
         self._pending_sorted = True
         self._seq = 0
+        #: declared columnar layout per event type (merged across the
+        #: compiled rules reading the type); ``None`` marks a type
+        #: whose declarations conflicted — mirrors stay disabled for it.
+        self._column_specs: dict[str, Optional[ColumnSpec]] = {}
         #: Sequence number of the last item of the *initial input
         #: stream* (see :meth:`mark_stream_boundary`); 0 means no
         #: boundary was declared and streamless pickling is disabled.
@@ -252,7 +286,7 @@ class WorkingMemory:
             pending = (
                 "tail",
                 [
-                    (arrival, seq, is_fact, to_row(item))
+                    (arrival, seq, is_fact, _pending_to_row(item))
                     for arrival, seq, is_fact, item in self._pending
                     if seq > self._stream_seq
                 ],
@@ -261,11 +295,12 @@ class WorkingMemory:
             pending = (
                 "full",
                 [
-                    (arrival, seq, is_fact, to_row(item))
+                    (arrival, seq, is_fact, _pending_to_row(item))
                     for arrival, seq, is_fact, item in self._pending
                 ],
             )
         return {
+            "column_specs": self._column_specs,
             "events": self.events,
             "facts": self.facts,
             "event_partitions": {
@@ -294,6 +329,7 @@ class WorkingMemory:
         self._pending_sorted = state["pending_sorted"]
         self._seq = state["seq"]
         self._stream_seq = state["stream_seq"]
+        self._column_specs = state.get("column_specs", {})
         #: A ``"tail"`` snapshot is incomplete until
         #: :meth:`refill_stream` merges the regenerated stream back in.
         self._needs_refill = kind == "tail"
@@ -321,6 +357,49 @@ class WorkingMemory:
         if pending and entry < pending[-1]:
             self._pending_sorted = False
         pending.append(entry)
+
+    def buffer_columns(self, batch: SDEColumns) -> None:
+        """Queue a columnar SDE batch without materialising its rows.
+
+        Rows enter the pending buffer as lazy handles in the batch's
+        canonical order (event blocks, then fact blocks) and are
+        resolved into :class:`Event`/:class:`FluentFact` objects only
+        when :meth:`admit` moves them into the window — rows a window
+        never sees (or that get evicted on admission) are never built.
+        Sequence numbers are assigned exactly as the object path would
+        for the same order, so a batch-fed stream refills identically
+        (see :meth:`refill_columns`).
+        """
+        pending = self._pending
+        seq = self._seq
+        was_sorted = self._pending_sorted
+        last = pending[-1][:2] if pending else None
+        for arrival, is_fact, row in batch.rows():
+            seq += 1
+            if was_sorted and last is not None and (arrival, seq) < last:
+                was_sorted = False
+            last = (arrival, seq)
+            pending.append((arrival, seq, is_fact, row))
+        self._seq = seq
+        self._pending_sorted = was_sorted
+
+    # -- columnar mirror declarations ----------------------------------
+    def declare_columns(self, etype: str, spec: ColumnSpec) -> None:
+        """Declare the columnar layout a compiled rule reads from an
+        event type.  Declarations from several rules merge by numeric
+        field union; conflicting grounding-token layouts disable the
+        mirror for the type (readers then build list-backed views)."""
+        if etype in self._column_specs:
+            current = self._column_specs[etype]
+            self._column_specs[etype] = (
+                None if current is None else current.merge(spec)
+            )
+        else:
+            self._column_specs[etype] = spec
+
+    def column_spec_for(self, etype: str) -> Optional[ColumnSpec]:
+        """The merged declared spec of an event type (or ``None``)."""
+        return self._column_specs.get(etype)
 
     # -- streamless checkpointing --------------------------------------
     def mark_stream_boundary(self) -> None:
@@ -362,6 +441,29 @@ class WorkingMemory:
         for fact in facts:
             seq += 1
             entries.append((fact.arrival, seq, True, fact))
+        self._merge_refilled(entries, seq, admitted_through)
+
+    def refill_columns(
+        self, batch: SDEColumns, admitted_through: int
+    ) -> None:
+        """Columnar counterpart of :meth:`refill_stream`: the
+        regenerated initial stream arrives as one batch, whose
+        canonical row order matches the original
+        :meth:`buffer_columns` feed, so the re-assigned sequence
+        numbers line up with the checkpointed boundary."""
+        entries: list[tuple[int, int, bool, Any]] = []
+        seq = 0
+        for arrival, is_fact, row in batch.rows():
+            seq += 1
+            entries.append((arrival, seq, is_fact, row))
+        self._merge_refilled(entries, seq, admitted_through)
+
+    def _merge_refilled(
+        self,
+        entries: list[tuple[int, int, bool, Any]],
+        seq: int,
+        admitted_through: int,
+    ) -> None:
         if seq != self._stream_seq:
             raise RuntimeError(
                 f"regenerated stream has {seq} items, the checkpointed "
@@ -447,6 +549,8 @@ class WorkingMemory:
         batch = pending[:cut]
         del pending[:cut]
         for _, seq, is_fact, item in batch:
+            if isinstance(item, PendingRow):
+                item = item.resolve()
             if item.time <= horizon:
                 continue
             if is_fact:
@@ -516,6 +620,14 @@ class WorkingMemory:
         return sum(len(column.items) for column in self.events.values())
 
 
+def _pending_to_row(item: Any):
+    """Checkpoint row of a pending entry's item; lazy batch rows are
+    materialised first (checkpoints must be self-contained)."""
+    if isinstance(item, PendingRow):
+        item = item.resolve()
+    return to_row(item)
+
+
 # ----------------------------------------------------------------------
 # Range utilities
 # ----------------------------------------------------------------------
@@ -552,6 +664,20 @@ class RangeSet:
     def __contains__(self, t: int) -> bool:
         i = bisect.bisect_right(self._starts, t) - 1
         return i >= 0 and t <= self._ends[i]
+
+    def mask(self, times: np.ndarray) -> np.ndarray:
+        """Vectorised membership: a boolean array marking which of
+        ``times`` fall inside any range (``__contains__``, batched)."""
+        if not self._starts:
+            return np.zeros(len(times), dtype=bool)
+        idx = (
+            np.searchsorted(
+                np.asarray(self._starts, dtype=np.int64), times, "right"
+            )
+            - 1
+        )
+        ends = np.asarray(self._ends, dtype=np.int64)
+        return (idx >= 0) & (times <= ends[np.maximum(idx, 0)])
 
 
 # ----------------------------------------------------------------------
@@ -631,6 +757,10 @@ class DefinitionState:
     #: events, ``{"init": [...], "term": [...]}`` for fluents), covering
     #: the whole previous window.
     streams: Optional[dict[str, list[Any]]] = None
+    #: lazily built ``int64`` time arrays per cached stream, for the
+    #: vectorised middle-reuse filter; reset whenever ``streams`` is
+    #: reassigned (the engine sets it back to ``None``).
+    stream_times: Optional[dict[str, np.ndarray]] = None
     #: previous query's final interval output (fluent kinds only).
     prev_out: Optional[dict[FluentKey, IntervalList]] = None
     #: where this definition's output changed relative to the previous

@@ -41,6 +41,9 @@ from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Optional
 
+import numpy as np
+
+from .columns import ColumnSource, SDEColumns
 from .events import Event, FluentFact, FluentKey, Occurrence
 from .incremental import (
     DefinitionState,
@@ -97,6 +100,11 @@ class RecognitionSnapshot:
         that had to recompute in full, and reusing definitions whose
         cache was partially invalidated (late arrivals or upstream
         changes).  All zero in legacy mode.
+    compiled_evals / compiled_fallbacks:
+        Rule-compilation statistics: rule-body evaluations served by a
+        vectorised compiled evaluator, and evaluations of point-deriving
+        definitions that fell back to the interpreter (no compiled form
+        exists for them).  Both zero when compilation is disabled.
     """
 
     query_time: int
@@ -111,6 +119,8 @@ class RecognitionSnapshot:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_invalidations: int = 0
+    compiled_evals: int = 0
+    compiled_fallbacks: int = 0
     #: CPU seconds spent per definition (profiling breakdown).
     per_definition: dict[str, float] = field(default_factory=dict)
 
@@ -167,6 +177,14 @@ class RTEC:
         working memory and definition outputs are cached across the
         window overlap; ``False`` selects the legacy from-scratch
         evaluation.  Both modes produce identical recognition output.
+    compiled:
+        When ``True`` (the default) definitions offering a vectorised
+        evaluator (:meth:`repro.core.rules.Definition.compiled`) have
+        their rule bodies lowered to array operations over columnar
+        views; ``False`` keeps every body on the interpreter.  The
+        recognition output is identical either way (pinned by the
+        parity suites); the flag exists for debugging and differential
+        testing.
 
     Durability
     ----------
@@ -195,6 +213,7 @@ class RTEC:
         start: int = 0,
         initially: Optional[Mapping[tuple[str, FluentKey], Any]] = None,
         incremental: bool = True,
+        compiled: bool = True,
     ):
         if window <= 0 or step <= 0:
             raise ValueError("window and step must be positive")
@@ -240,6 +259,21 @@ class RTEC:
                     self._wm.register_fact_partition(
                         fname, spec.fact_partition[fname]
                     )
+        # Rule compilation: definitions offering a vectorised evaluator
+        # get their bodies lowered; the working memory pre-declares the
+        # columnar layouts those evaluators read, so its mirrors are
+        # maintained incrementally alongside the object columns.
+        self.compiled_rules = bool(compiled)
+        self._compiled: dict[str, Any] = {}
+        if self.compiled_rules:
+            for d in self._definitions:
+                rule = d.compiled(self.params)
+                if rule is None:
+                    continue
+                self._compiled[d.name] = rule
+                if self._wm is not None:
+                    for etype, cspec in rule.columns.items():
+                        self._wm.declare_columns(etype, cspec)
         #: definitions some *other* definition depends on: only their
         #: output diffs feed downstream invalidation, so ``changed`` is
         #: computed for them alone (for sinks it would be dead work).
@@ -318,6 +352,25 @@ class RTEC:
         if appended:
             self._inputs_sorted = False
 
+    def feed_columns(self, batch: SDEColumns) -> None:
+        """Buffer a columnar SDE batch (:class:`~.columns.SDEColumns`).
+
+        The batch counterpart of :meth:`feed`: negative-time validation
+        runs vectorised over the batch's time arrays, and in
+        incremental mode the rows enter the working memory's pending
+        buffer as lazy handles — an :class:`Event` object is only built
+        when a row is actually admitted into a window.  Legacy engines
+        materialise the batch into their object buffers (their whole
+        evaluation is object-based).
+        """
+        batch.validate()
+        if self._wm is not None:
+            self._wm.buffer_columns(batch)
+        elif batch.n:
+            self._events.extend(batch.iter_events())
+            self._facts.extend(batch.iter_facts())
+            self._inputs_sorted = False
+
     def mark_stream_fed(self) -> None:
         """Declare the initial input stream fully fed (see
         :meth:`repro.core.incremental.WorkingMemory.mark_stream_boundary`).
@@ -337,6 +390,12 @@ class RTEC:
         snapshots are always complete)."""
         if self._wm is not None:
             self._wm.refill_stream(events, facts, admitted_through)
+
+    def refill_columns(self, batch: SDEColumns, admitted_through: int) -> None:
+        """Columnar counterpart of :meth:`refill_stream` for engines
+        whose initial stream was fed via :meth:`feed_columns`."""
+        if self._wm is not None:
+            self._wm.refill_columns(batch, admitted_through)
 
     def _ensure_sorted(self) -> None:
         if not self._inputs_sorted:
@@ -415,32 +474,27 @@ class RTEC:
         t0 = _time.process_time()
         for definition in self._definitions:
             d0 = _time.process_time()
-            if isinstance(definition, DerivedEvent):
+            if isinstance(definition, StaticFluent):
+                intervals = dict(definition.derive(ctx))
+                ctx._store_fluent(definition.name, intervals)
+                snapshot.fluents[definition.name] = intervals
+            elif isinstance(definition, DerivedEvent):
+                streams = self._extract_streams(definition, ctx, snapshot)
                 occurrences = sorted(
-                    definition.occurrences(ctx), key=lambda o: (o.time, o.key)
+                    streams["occ"], key=lambda o: (o.time, o.key)
                 )
                 ctx._store_occurrences(definition.name, occurrences)
                 snapshot.occurrences[definition.name] = occurrences
-            elif isinstance(definition, ValuedFluent):
-                intervals = self._valued_intervals(
-                    definition.name,
-                    ctx,
-                    definition.initiations(ctx),
-                    definition.terminations(ctx),
-                )
-                ctx._store_fluent(definition.name, intervals)
-                snapshot.fluents[definition.name] = intervals
-            elif isinstance(definition, SimpleFluent):
-                intervals = self._simple_intervals(
-                    definition.name,
-                    ctx,
-                    definition.initiations(ctx),
-                    definition.terminations(ctx),
-                )
-                ctx._store_fluent(definition.name, intervals)
-                snapshot.fluents[definition.name] = intervals
-            elif isinstance(definition, StaticFluent):
-                intervals = dict(definition.derive(ctx))
+            elif isinstance(definition, (SimpleFluent, ValuedFluent)):
+                streams = self._extract_streams(definition, ctx, snapshot)
+                if isinstance(definition, ValuedFluent):
+                    intervals = self._valued_intervals(
+                        definition.name, ctx, streams["init"], streams["term"]
+                    )
+                else:
+                    intervals = self._simple_intervals(
+                        definition.name, ctx, streams["init"], streams["term"]
+                    )
                 ctx._store_fluent(definition.name, intervals)
                 snapshot.fluents[definition.name] = intervals
             else:  # pragma: no cover - guarded by the type system
@@ -490,6 +544,7 @@ class RTEC:
             facts=facts_by_key,
             params=self.params,
             fact_times=fact_times,
+            columns=self._column_sources(),
         )
 
         snapshot = RecognitionSnapshot(
@@ -535,6 +590,7 @@ class RTEC:
                 )
                 state.prev_out = out
                 state.streams = None
+                state.stream_times = None
             elif isinstance(definition, DerivedEvent):
                 old = state.streams
                 streams = self._definition_streams(
@@ -568,6 +624,7 @@ class RTEC:
                         previous,
                     )
                 state.streams = streams
+                state.stream_times = None
             else:  # SimpleFluent / ValuedFluent
                 streams = self._definition_streams(
                     definition, state, ctx, q, window_start, previous,
@@ -597,17 +654,34 @@ class RTEC:
                 )
                 state.prev_out = out
                 state.streams = streams
+                state.stream_times = None
             snapshot.per_definition[name] = _time.process_time() - d0
         snapshot.elapsed = _time.process_time() - t0
 
         self._last_query = q
         return snapshot
 
-    @staticmethod
     def _extract_streams(
-        definition: Definition, ctx: RuleContext
+        self,
+        definition: Definition,
+        ctx: RuleContext,
+        snapshot: Optional[RecognitionSnapshot] = None,
     ) -> dict[str, list[Any]]:
-        """Run a definition's rule bodies, as point streams."""
+        """Run a definition's rule bodies, as point streams.
+
+        Definitions with a compiled evaluator take the vectorised path
+        over the context's columnar views; everything else runs the
+        interpreted bodies.  The snapshot's ``compiled_evals`` /
+        ``compiled_fallbacks`` counters record which path served each
+        evaluation.
+        """
+        rule = self._compiled.get(definition.name)
+        if rule is not None:
+            if snapshot is not None:
+                snapshot.compiled_evals += 1
+            return rule.derive(ctx)
+        if snapshot is not None and self.compiled_rules:
+            snapshot.compiled_fallbacks += 1
         if isinstance(definition, DerivedEvent):
             return {"occ": list(definition.occurrences(ctx))}
         return {
@@ -679,7 +753,7 @@ class RTEC:
         if not cacheable:
             if spec is not None and spec.lookback is not None:
                 snapshot.cache_misses += 1
-            return self._extract_streams(definition, ctx)
+            return self._extract_streams(definition, ctx, snapshot)
 
         # -- what changed since the previous query -----------------
         partitioned = spec.partitioned
@@ -757,29 +831,35 @@ class RTEC:
                         continue
                     kept.append(pt)
                 continue
-            if quiet:
-                # Nothing invalidated: only the time range filters.
-                for pt in cached_points:
-                    if reuse_lo <= pt[t_index] <= reuse_hi:
-                        kept.append(pt)
+            # Fluent streams are unsorted point tuples; the time-range
+            # and band filters run vectorised over a lazily built
+            # (per-stream, per-query) int64 time array — the Python
+            # loop only touches the surviving indices.
+            if not cached_points:
                 continue
-            if not bands:
-                # Only dirty groundings (the common case for
-                # partitioned specs): no band probe per point.
-                for pt in cached_points:
-                    if (
-                        reuse_lo <= pt[t_index] <= reuse_hi
-                        and point_token(pt) not in dirty
-                    ):
+            stream_times = state.stream_times
+            if stream_times is None:
+                stream_times = state.stream_times = {}
+            ts = stream_times.get(sname)
+            if ts is None:
+                ts = stream_times[sname] = np.fromiter(
+                    (pt[t_index] for pt in cached_points),
+                    np.int64,
+                    count=len(cached_points),
+                )
+            keep = (ts >= reuse_lo) & (ts <= reuse_hi)
+            if bands:
+                keep &= ~band_set.mask(ts)
+            if dirty:
+                for i in np.flatnonzero(keep).tolist():
+                    pt = cached_points[i]
+                    if point_token(pt) not in dirty:
                         kept.append(pt)
-                continue
-            for pt in cached_points:
-                t = pt[t_index]
-                if t < reuse_lo or t > reuse_hi or t in band_set:
-                    continue
-                if dirty and point_token(pt) in dirty:
-                    continue
-                kept.append(pt)
+            else:
+                kept.extend(
+                    cached_points[i]
+                    for i in np.flatnonzero(keep).tolist()
+                )
 
         # Head, bands and tail: re-derive against a restricted context
         # that contains every input a point in the segment can see.
@@ -791,7 +871,7 @@ class RTEC:
                 range_contexts,
             )
             self._inject_upstream(rctx, definition, ctx, occ_times)
-            extracted = self._extract_streams(definition, rctx)
+            extracted = self._extract_streams(definition, rctx, snapshot)
             for sname, points in extracted.items():
                 time_of = times[sname]
                 kept = out[sname]
@@ -810,7 +890,7 @@ class RTEC:
                 spec, dirty, window_start, q, ctx, token_contexts
             )
             self._inject_upstream(rctx, definition, ctx, occ_times)
-            extracted = self._extract_streams(definition, rctx)
+            extracted = self._extract_streams(definition, rctx, snapshot)
             for sname, points in extracted.items():
                 kept = out[sname]
                 for pt in points:
@@ -849,10 +929,26 @@ class RTEC:
             facts=facts,
             params=self.params,
             fact_times=fact_times,
+            columns=self._column_sources(lo, hi),
         )
         rctx._fluents = ctx._fluents
         range_contexts[(lo, hi)] = rctx
         return rctx
+
+    def _column_sources(
+        self, lo: Optional[int] = None, hi: Optional[int] = None
+    ) -> Optional[dict[str, ColumnSource]]:
+        """Deferred columnar views over the working-memory columns with
+        a declared layout (``None`` bounds mean the whole window).
+        Mirrors sync only when a compiled body actually reads them."""
+        if not self.compiled_rules:
+            return None
+        sources: dict[str, ColumnSource] = {}
+        for etype, column in self._wm.events.items():
+            spec = self._wm.column_spec_for(etype)
+            if spec is not None and column.items:
+                sources[etype] = ColumnSource(column, spec, lo, hi)
+        return sources
 
     def _token_context(
         self,

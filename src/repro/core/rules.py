@@ -53,6 +53,7 @@ class RuleContext:
         fact_times: Optional[
             Mapping[tuple[str, FluentKey], Sequence[int]]
         ] = None,
+        columns: Optional[Mapping[str, Any]] = None,
     ):
         self.window_start = window_start
         self.window_end = window_end
@@ -67,6 +68,10 @@ class RuleContext:
             else {k: [f.time for f in fs] for k, fs in facts.items()}
         )
         self._params = params
+        # Columnar sources per event type, provided by the incremental
+        # engine over its working-memory mirrors; compiled rule bodies
+        # read them through :meth:`events_columns`.
+        self._columns = columns
         self._occurrences: dict[str, list[Occurrence]] = {}
         self._fluents: dict[str, dict[FluentKey, IntervalList]] = {}
         #: Per-window scratch space shared by all rule bodies.  Rules
@@ -118,6 +123,32 @@ class RuleContext:
     def param(self, name: str) -> Any:
         """A tunable parameter (threshold) by dotted name."""
         return self._params[name]
+
+    def events_columns(self, event_type: str, spec) -> Any:
+        """A columnar view over :meth:`events` of ``event_type``.
+
+        Compiled rule bodies call this instead of iterating event
+        objects.  When the engine attached a mirror-backed source for
+        the type (and its declared columns cover ``spec``), the view is
+        the struct-of-arrays mirror slice — no per-event Python work.
+        Otherwise a list-backed view is built from the object sequence
+        and memoised for the rest of the query, so every caller sees
+        the same rows as :meth:`events` in the same order.
+        """
+        if self._columns is not None:
+            source = self._columns.get(event_type)
+            if source is not None:
+                view = source.view()
+                if view.covers(spec):
+                    return view
+        memo_key = ("__columns__", event_type, spec)
+        view = self.memo.get(memo_key)
+        if view is None:
+            from .columns import ListColumnView
+
+            view = ListColumnView(self.events(event_type), spec)
+            self.memo[memo_key] = view
+        return view
 
     # -- intermediate results ------------------------------------------
     def derived(self, event_type: str) -> Sequence[Occurrence]:
@@ -181,6 +212,19 @@ class Definition(abc.ABC):
         points across overlapping windows; the default ``None`` keeps
         the definition on the full-recompute path, which is always
         semantically safe.
+        """
+        return None
+
+    def compiled(self, params: Mapping[str, Any]):
+        """A vectorised evaluator for this rule body (or ``None``).
+
+        Returning a :class:`repro.core.compiled.CompiledRule` lets the
+        engine lower this definition's point derivation to array
+        operations over columnar views; the returned object must
+        produce exactly the streams the interpreted body would (the
+        parity suite pins this).  The default ``None`` keeps the
+        definition on the interpreter, which is always safe —
+        anything the compiler can't express simply stays there.
         """
         return None
 

@@ -31,6 +31,7 @@ from collections.abc import Iterable
 
 import math
 
+from ..compiled import CompiledDelayIncrease
 from ..events import Event, FluentFact, FluentKey, Occurrence
 from ..geo import distance_m
 from ..incremental import IncrementalSpec
@@ -151,6 +152,19 @@ class DelayIncrease(DerivedEvent):
             event_partition={"move": _move_bus},
             fact_partition={"gps": _gps_bus},
             point_partition=_occ_bus,
+        )
+
+    def compiled(self, params) -> CompiledDelayIncrease:
+        """Per-bus consecutive-pair deltas over the delay column; only
+        the hits pay for the Python-side ``gps`` join."""
+        return CompiledDelayIncrease(
+            self.name,
+            params.get(
+                "bus.delay_delta", DEFAULT_BUS_PARAMS["bus.delay_delta"]
+            ),
+            params.get(
+                "bus.delay_window", DEFAULT_BUS_PARAMS["bus.delay_window"]
+            ),
         )
 
 

@@ -36,6 +36,11 @@ from __future__ import annotations
 from collections import defaultdict
 from collections.abc import Iterable, Mapping
 
+from ..compiled import (
+    CompiledScatsCongestion,
+    CompiledTrafficRegime,
+    CompiledTrafficTrend,
+)
 from ..events import Event, FluentKey
 from ..incremental import IncrementalSpec
 from ..intervals import IntervalList, count_threshold
@@ -126,6 +131,12 @@ class ScatsCongestion(SimpleFluent):
     def incremental_spec(self, params) -> IncrementalSpec:
         """Point-wise over single ``traffic`` readings, per sensor."""
         return _POINTWISE_SENSOR_SPEC
+
+    def compiled(self, params) -> CompiledScatsCongestion:
+        """One boolean mask over the density/flow columns."""
+        return CompiledScatsCongestion(
+            params["scats.density_hi"], params["scats.flow_lo"]
+        )
 
 
 class ScatsIntersectionCongestion(StaticFluent):
@@ -240,6 +251,18 @@ class TrafficTrend(SimpleFluent):
             event_types=frozenset({"traffic"}),
             event_partition={"traffic": _sensor_key},
             point_partition=_point_trend_sensor,
+        )
+
+    def compiled(self, params) -> CompiledTrafficTrend:
+        """Per-sensor monotone-run scan over one measurement column."""
+        return CompiledTrafficTrend(
+            self.quantity,
+            int(
+                params.get(
+                    "trend.readings", DEFAULT_SCATS_PARAMS["trend.readings"]
+                )
+            ),
+            params[f"trend.{self.quantity}_delta"],
         )
 
 
@@ -361,3 +384,10 @@ class TrafficRegime(ValuedFluent):
     def incremental_spec(self, params) -> IncrementalSpec:
         """Point-wise over single ``traffic`` readings, per sensor."""
         return _POINTWISE_SENSOR_SPEC
+
+    def compiled(self, params) -> CompiledTrafficRegime:
+        """Banded classification of the density column."""
+        return CompiledTrafficRegime(
+            params["scats.density_hi"],
+            params["regime.synchronized_density"],
+        )

@@ -20,6 +20,7 @@ import bisect
 import difflib
 import pickle
 import random
+import time
 from concurrent.futures import (
     Executor,
     ProcessPoolExecutor,
@@ -28,6 +29,7 @@ from concurrent.futures import (
 from dataclasses import dataclass, field, fields
 from typing import Literal, Mapping, Optional
 
+from ..core.columns import SDEColumns
 from ..core.events import Event
 from ..core.rtec import RTEC, RecognitionLog, RecognitionSnapshot
 from ..faults import FaultProfile, get_profile, inject_scenario
@@ -73,6 +75,12 @@ class SystemConfig:
     #: (same output — the golden-trace tests assert it — useful for
     #: differential testing and micro-benchmarks).
     incremental: bool = True
+    #: Compiled (vectorised) evaluation of the hot rule bodies over the
+    #: columnar working-memory mirrors.  ``False`` pins the pure
+    #: interpreter for every definition — same recognised CEs (the
+    #: parity suite asserts it), useful for differential testing and
+    #: as an escape hatch.  See ``docs/performance.md``.
+    compiled_rules: bool = True
     #: Static vs self-adaptive recognition, and the noisy-rule variant.
     adaptive: bool = True
     noisy_variant: Literal["crowd", "pessimistic"] = "crowd"
@@ -359,6 +367,7 @@ class UrbanTrafficSystem:
                 step=cfg.step,
                 params=params,
                 incremental=cfg.incremental,
+                compiled=cfg.compiled_rules,
             )
 
         self.console = OperatorConsole()
@@ -522,7 +531,13 @@ class UrbanTrafficSystem:
         else:
             split = {"city": (data.events, data.facts)}
         for region, (events, facts) in split.items():
-            self.engines[region].feed(events, facts)
+            # Columnar hand-off: the engine receives one
+            # struct-of-arrays batch per region instead of a list of
+            # objects, so admission and the working-memory mirrors can
+            # work on arrays.
+            batch = SDEColumns.from_sdes(events, facts)
+            self.metrics.counter("ingest.events").inc(batch.n)
+            self.engines[region].feed_columns(batch)
             # Everything up to here is deterministically regenerable
             # from the baseline checkpoint; later feeds (crowd
             # feedback) are not.  The boundary lets interval
@@ -583,8 +598,8 @@ class UrbanTrafficSystem:
             split = {"city": (data.events, data.facts)}
         admitted_through = state.next_q - self.config.step
         for region, (events, facts) in split.items():
-            self.engines[region].refill_stream(
-                events, facts, admitted_through
+            self.engines[region].refill_columns(
+                SDEColumns.from_sdes(events, facts), admitted_through
             )
 
     def _run_loop(self, state: RunState, recovery) -> SystemReport:
@@ -592,6 +607,7 @@ class UrbanTrafficSystem:
         report = state.report
         logs = report.logs
         executor = self._make_executor()
+        loop_started = time.perf_counter()
         try:
             q = state.next_q
             while q <= state.end:
@@ -620,6 +636,9 @@ class UrbanTrafficSystem:
                     )
                     recovery.after_step(self, state)
         finally:
+            self.metrics.timing("ingest.loop_seconds").observe(
+                time.perf_counter() - loop_started
+            )
             if executor is not None:
                 executor.shutdown()
 
@@ -710,6 +729,12 @@ class UrbanTrafficSystem:
         self.metrics.counter("rtec.cache.invalidations").inc(
             snapshot.cache_invalidations
         )
+        self.metrics.counter("rtec.compiled.evals").inc(
+            snapshot.compiled_evals
+        )
+        self.metrics.counter("rtec.compiled.fallbacks").inc(
+            snapshot.compiled_fallbacks
+        )
         for name, elapsed in snapshot.per_definition.items():
             self.metrics.timing(
                 f"rtec.definition.{name}.seconds"
@@ -725,6 +750,16 @@ class UrbanTrafficSystem:
                 self.metrics.gauge(f"{prefix}.items_per_s").set(
                     items / seconds
                 )
+        ingested = self.metrics.counter("ingest.events").value
+        loop_seconds = self.metrics.timing("ingest.loop_seconds").total
+        if ingested and loop_seconds > 0.0:
+            # End-to-end ingest throughput: every SDE the scheduler
+            # handed the engines over the wall-clock time of the
+            # recognition loop(s).  The throughput gate benchmarks this
+            # against the Dublin arrival rate (~0.5 SDE/s fleet-wide).
+            self.metrics.gauge("ingest.events_per_s").set(
+                ingested / loop_seconds
+            )
         self.metrics.gauge("flow.coverage").set(
             self.flow_estimator.coverage(end)
         )

@@ -76,6 +76,35 @@ def render_html_report(
         else ""
     )
 
+    metrics = report.metrics or {}
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    engine_rows = []
+    for label, value in (
+        ("SDEs ingested", counters.get("ingest.events")),
+        ("ingest throughput (SDE/s)", gauges.get("ingest.events_per_s")),
+        ("compiled rule evaluations", counters.get("rtec.compiled.evals")),
+        (
+            "interpreter fallbacks",
+            counters.get("rtec.compiled.fallbacks"),
+        ),
+    ):
+        if not value:
+            continue
+        shown = f"{value:.0f}" if isinstance(value, float) else str(value)
+        engine_rows.append(
+            f"<tr><td>{html.escape(label)}</td>"
+            f'<td class="num">{shown}</td></tr>'
+        )
+    engine_section = (
+        "<h2>engine</h2><table>"
+        "<tr><th>metric</th><th>value</th></tr>"
+        + "".join(engine_rows)
+        + "</table>"
+        if engine_rows
+        else ""
+    )
+
     degraded_rows = "".join(
         f"<tr><td>{html.escape(line)}</td></tr>"
         for line in report.degraded_timeline()
@@ -102,6 +131,7 @@ crowd disagreements resolved: {report.crowd_resolutions}
 {counts_table}
 <h2>alert feed (last {max_alerts})</h2>
 <pre>{feed}</pre>
+{engine_section}
 {degraded_section}
 {rewards_section}
 <h2>city map</h2>

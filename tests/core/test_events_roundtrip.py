@@ -1,0 +1,96 @@
+"""Pickle round-trips for the SDE record types.
+
+The columnar batch machinery (``repro.core.columns``) and the
+process-pool / checkpoint paths all lean on the ``__reduce__`` seam of
+:class:`Event` and :class:`FluentFact`: a record must survive
+pickle → unpickle with full equality, including the frozen
+(``MappingProxyType``) payloads that plain dataclass pickling cannot
+handle.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.events import Event, FluentFact, Occurrence
+
+
+def _roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+@pytest.mark.parametrize(
+    "event",
+    [
+        Event("traffic", 30, {"density": 55.0, "flow": 800.0}),
+        Event(
+            "move",
+            120,
+            {"bus": "B1", "line": 7, "operator": "op", "delay": 95},
+            arrival=150,
+        ),
+        Event("crowd", 0, {}),
+    ],
+    ids=["traffic", "delayed-move", "empty-payload"],
+)
+def test_event_roundtrip(event):
+    restored = _roundtrip(event)
+    assert restored == event
+    assert restored.arrival == event.arrival
+    assert dict(restored.payload) == dict(event.payload)
+
+
+def test_event_payload_value_types_survive():
+    """Integer payload fields must come back as ints, not floats —
+    the columnar fast path builds payloads from original objects for
+    exactly this reason."""
+    event = Event("move", 60, {"delay": 42, "speed": 13.5})
+    restored = _roundtrip(event)
+    assert restored["delay"] == 42
+    assert isinstance(restored["delay"], int)
+    assert isinstance(restored["speed"], float)
+
+
+@pytest.mark.parametrize(
+    "fact",
+    [
+        FluentFact(
+            "gps",
+            ("B1",),
+            {"lon": -6.26, "lat": 53.34, "direction": 90, "congestion": 1},
+            45,
+        ),
+        FluentFact("noisy", ("B2",), True, 600, arrival=660),
+    ],
+    ids=["gps-mapping", "boolean-delayed"],
+)
+def test_fluent_fact_roundtrip(fact):
+    restored = _roundtrip(fact)
+    assert restored == fact
+    assert restored.arrival == fact.arrival
+
+
+def test_fluent_fact_mapping_value_stays_readable():
+    fact = FluentFact("gps", ("B1",), {"lon": 1.0, "congestion": 0}, 30)
+    restored = _roundtrip(fact)
+    assert restored.value["congestion"] == 0
+
+
+def test_occurrence_roundtrip():
+    occ = Occurrence(
+        "delayIncrease",
+        ("B1",),
+        300,
+        {"bus": "B1", "delay_increase": 80},
+    )
+    restored = _roundtrip(occ)
+    assert restored == occ
+    assert restored["delay_increase"] == 80
+
+
+def test_frozen_payload_rejects_mutation_after_roundtrip():
+    """The round-trip must restore the *frozen* payload semantics, not
+    hand back a mutable dict."""
+    restored = _roundtrip(Event("traffic", 30, {"density": 1.0}))
+    with pytest.raises(TypeError):
+        restored.payload["density"] = 2.0

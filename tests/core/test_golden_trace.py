@@ -50,12 +50,38 @@ def _trace_entries():
 
 
 @pytest.mark.parametrize("entry", _trace_entries(), ids=_config_id)
+@pytest.mark.parametrize(
+    "compiled", [True, False], ids=["compiled", "interp"]
+)
 @pytest.mark.parametrize("incremental", [True, False], ids=["incr", "legacy"])
-def test_engine_matches_golden(golden_stream, entry, incremental):
+def test_engine_matches_golden(golden_stream, entry, incremental, compiled):
     scenario, data = golden_stream
     trace = run_trace(
-        scenario, data, **entry["config"], incremental=incremental
+        scenario,
+        data,
+        **entry["config"],
+        incremental=incremental,
+        compiled=compiled,
     )
+    assert trace == entry["queries"]
+
+
+@pytest.mark.parametrize("entry", _trace_entries(), ids=_config_id)
+def test_columnar_feed_matches_golden(golden_stream, entry):
+    """The batch-admission path (``feed_columns`` with one
+    struct-of-arrays batch) recognises exactly what the recorded
+    object-feed path did."""
+    from repro.core.columns import SDEColumns
+    from tests.golden.record_golden import (
+        HORIZON,
+        build_engine,
+        serialise_snapshot,
+    )
+
+    scenario, data = golden_stream
+    engine = build_engine(scenario, **entry["config"])
+    engine.feed_columns(SDEColumns.from_sdes(data.events, data.facts))
+    trace = [serialise_snapshot(s) for s in engine.run(HORIZON)]
     assert trace == entry["queries"]
 
 

@@ -1,0 +1,125 @@
+"""Tier-1 throughput gate: the columnar path must outrun Dublin.
+
+A miniature of ``benchmarks/bench_throughput.py`` small enough to run
+on every PR: array-native batches (no ``Event`` object before
+admission) are fed step by step into a compiled engine, and the
+sustained ingest rate must clear ``REQUIRED_MULTIPLE`` times the
+paper's fleet-wide arrival rate of one SDE every ~2 s.  The margin is
+three orders of magnitude on any hardware, so the gate only trips on
+a genuine hot-path catastrophe (e.g. an accidental O(n²) admission or
+a per-row Python round-trip sneaking back in), not on CI noise.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import RTEC
+from repro.core.columns import EventColumns, SDEColumns
+from repro.core.traffic import build_traffic_definitions, default_traffic_params
+
+from tests.core.helpers import make_topology
+
+DUBLIN_SDE_RATE = 0.5
+REQUIRED_MULTIPLE = 10.0
+
+WINDOW_S = 600
+STEP_S = 300
+READ_PERIOD_S = 30
+DURATION_S = 6 * STEP_S
+
+
+def _step_batches(topology):
+    sensors = [
+        key
+        for int_id in topology.ids()
+        for key in topology.sensors_of(int_id)
+    ]
+    n_sensors = len(sensors)
+    ticks = np.arange(READ_PERIOD_S, DURATION_S + 1, READ_PERIOD_S, np.int64)
+    times = np.repeat(ticks, n_sensors)
+    phase = np.arange(n_sensors, dtype=np.float64)
+    density = 90.0 + 80.0 * np.sin(
+        (ticks.astype(np.float64) / 600.0)[:, None] + phase[None, :] * 0.7
+    )
+    flow = np.where(density > 120.0, 300.0, 900.0)
+    inter_col = [k[0] for k in sensors] * len(ticks)
+    approach_col = [k[1] for k in sensors] * len(ticks)
+    sensor_col = [k[2] for k in sensors] * len(ticks)
+    rows_per_step = (STEP_S // READ_PERIOD_S) * n_sensors
+    batches = []
+    for start in range(0, len(times), rows_per_step):
+        stop = min(start + rows_per_step, len(times))
+        block = EventColumns.from_arrays(
+            "traffic",
+            times[start:stop],
+            numeric={
+                "density": density.ravel()[start:stop],
+                "flow": flow.ravel()[start:stop],
+            },
+            extra={
+                "intersection": inter_col[start:stop],
+                "approach": approach_col[start:stop],
+                "sensor": sensor_col[start:stop],
+            },
+        )
+        batches.append(
+            (int(times[stop - 1]), SDEColumns(events=(block,)))
+        )
+    return batches
+
+
+def _ingest(topology, batches, *, compiled):
+    engine = RTEC(
+        build_traffic_definitions(
+            topology,
+            adaptive=False,
+            noisy_variant="pessimistic",
+            feeds=("scats",),
+        ),
+        window=WINDOW_S,
+        step=STEP_S,
+        params=default_traffic_params(),
+        compiled=compiled,
+    )
+    n_outputs = 0
+    t0 = time.perf_counter()
+    for q, batch in batches:
+        engine.feed_columns(batch)
+        snapshot = engine.query(q)
+        n_outputs += sum(len(v) for v in snapshot.occurrences.values())
+        n_outputs += sum(
+            len(il)
+            for groups in snapshot.fluents.values()
+            for il in groups.values()
+        )
+    return time.perf_counter() - t0, n_outputs
+
+
+@pytest.mark.bench_smoke
+def test_columnar_ingest_beats_dublin_rate():
+    topology = make_topology(n_intersections=8)
+    batches = _step_batches(topology)
+    n_sdes = sum(batch.n for _, batch in batches)
+    assert n_sdes > 0
+
+    elapsed, outputs = _ingest(topology, batches, compiled=True)
+    assert outputs > 0, "gate stream produced no CEs — thresholds drifted"
+    achieved = n_sdes / elapsed if elapsed > 0 else float("inf")
+    multiple = achieved / DUBLIN_SDE_RATE
+    assert multiple >= REQUIRED_MULTIPLE, (
+        f"columnar ingest sustained {achieved:.1f} SDE/s = "
+        f"{multiple:.1f}x Dublin (required {REQUIRED_MULTIPLE:.0f}x)"
+    )
+
+
+@pytest.mark.bench_smoke
+def test_gate_stream_parity_compiled_vs_interpreter():
+    """The gate's own stream recognises identically on both paths —
+    the throughput number measures the same computation."""
+    topology = make_topology(n_intersections=4)
+    batches = _step_batches(topology)
+    _, compiled_outputs = _ingest(topology, batches, compiled=True)
+    _, interp_outputs = _ingest(topology, batches, compiled=False)
+    assert compiled_outputs == interp_outputs
