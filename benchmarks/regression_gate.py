@@ -25,7 +25,7 @@ Benchmarks publish the figures to gate via
 ``benchmark.extra_info["gate_metrics"]`` — process-time recognition
 costs, free of the harness's wall-clock scheduling noise; tests
 without them are gated on their wall-clock mean.  Results — and the
-baseline being compared against — live in ``BENCH_pr6.json``::
+baseline being compared against — live in ``BENCH_pr8.json``::
 
     {
       "scale":     <REPRO_BENCH_SCALE used>,
@@ -36,7 +36,7 @@ baseline being compared against — live in ``BENCH_pr6.json``::
     }
 
 Timings are machine-dependent, so the baseline is meaningful only for
-the machine that recorded it; CI should cache ``BENCH_pr6.json`` per
+the machine that recorded it; CI should cache ``BENCH_pr8.json`` per
 runner class (see ``.github/workflows/ci.yml``) and this script
 *bootstraps* — records a fresh baseline and passes — when none exists
 for the current environment.
@@ -59,7 +59,7 @@ from pathlib import Path
 
 HERE = Path(__file__).resolve().parent
 REPO = HERE.parent
-DEFAULT_OUT = REPO / "BENCH_pr6.json"
+DEFAULT_OUT = REPO / "BENCH_pr8.json"
 
 #: Benchmark files guarding the recognition hot path.
 BENCH_FILES = (

@@ -150,6 +150,10 @@ def _system_config_from(args: argparse.Namespace) -> SystemConfig:
         mapping["incremental"] = False
     if getattr(args, "parallel", False):
         mapping["parallel_regions"] = True
+    if getattr(args, "sharded", False):
+        mapping["sharded"] = True
+    if getattr(args, "shard_dir", None):
+        mapping["shard_dir"] = args.shard_dir
     if getattr(args, "faults", None):
         mapping["fault_profile"] = args.faults
     if getattr(args, "checkpoint_interval", None):
@@ -216,6 +220,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("degraded intervals:")
         for line in report.degraded_timeline():
             print(f"  {line}")
+    if report.shard_events:
+        print()
+        print("shard events:")
+        for event in report.shard_events:
+            what = (
+                f"restarted from its checkpoint (attempt "
+                f"{event.get('attempt', '?')})"
+                if event["event"] == "restart"
+                else "restart budget exhausted — region degraded"
+            )
+            print(
+                f"  shard {event['region']!r} {what} at step "
+                f"{event['step']} (t={event['q']}s)"
+            )
     if args.map:
         print()
         print(system.render_city_map(duration))
@@ -243,6 +261,43 @@ def _render_metrics(registry) -> str:
                 f"  {process:<34} {items:>8} items  "
                 f"{gauges[name]:>12.0f} items/s"
             )
+
+    # Sharded runtime: one row per worker, aggregated from the
+    # namespaced per-shard registries (``shard.<region>.*``) the merge
+    # keeps side by side instead of overwriting.
+    shard_regions = sorted(
+        name[len("shard."):-len(".queries")]
+        for name in counters
+        if name.startswith("shard.") and name.endswith(".queries")
+        and name.count(".") == 2
+    )
+    if shard_regions:
+        lines.append("per-shard runtime:")
+        lines.append(
+            f"  {'region':<12} {'queries':>8} {'restarts':>9} "
+            f"{'replayed':>9} {'ckpts':>6} {'journal':>8}"
+        )
+        for region in shard_regions:
+            pre = f"shard.{region}."
+            lines.append(
+                f"  {region:<12} {counters.get(pre + 'queries', 0):>8} "
+                f"{counters.get(pre + 'restarts', 0):>9} "
+                f"{counters.get(pre + 'recovery.replay.steps', 0):>9} "
+                f"{counters.get(pre + 'recovery.checkpoint.writes', 0):>6} "
+                f"{counters.get(pre + 'recovery.journal.records', 0):>8}"
+            )
+        heartbeat = timings.get("shard.heartbeat_age_s")
+        summary = (
+            f"  total restarts {counters.get('shard.restarts', 0)}, "
+            f"deaths {counters.get('shard.deaths', 0)}, "
+            f"failed shards {counters.get('shard.failed', 0)}"
+        )
+        if heartbeat is not None and heartbeat.count:
+            summary += (
+                f", heartbeat age mean "
+                f"{heartbeat.mean * 1000:.1f} ms"
+            )
+        lines.append(summary)
 
     evals = counters.get("rtec.compiled.evals", 0)
     fallbacks = counters.get("rtec.compiled.fallbacks", 0)
@@ -511,6 +566,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan per-region recognition out over a thread pool",
     )
     run.add_argument(
+        "--sharded", action="store_true",
+        help="run each region's engine in its own supervised OS "
+        "process with per-shard checkpoint recovery (byte-identical "
+        "output; see docs/robustness.md)",
+    )
+    run.add_argument(
+        "--shard-dir", default=None, metavar="DIR",
+        help="root for the per-shard recovery directories (default: "
+        "a temporary directory removed after the run)",
+    )
+    run.add_argument(
         "--faults", default=None, metavar="PROFILE",
         help="inject a named fault profile (see 'faults' subcommand)",
     )
@@ -555,6 +621,11 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument(
         "--parallel", action="store_true",
         help="fan per-region recognition out over a thread pool",
+    )
+    metrics.add_argument(
+        "--sharded", action="store_true",
+        help="run the per-region engines as supervised worker "
+        "processes and report the namespaced shard.<region>.* metrics",
     )
     metrics.add_argument(
         "--streams", action="store_true",

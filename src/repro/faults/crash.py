@@ -16,7 +16,9 @@ ever swallows it — a crash is a crash.
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Literal, Optional
@@ -56,6 +58,13 @@ class CrashInjector:
     torn_bytes:
         Length of the truncated checkpoint prefix the mid-write crash
         leaves behind.
+    mode:
+        ``"raise"`` (default) raises :class:`SimulatedCrash` so an
+        in-process harness can catch it; ``"sigkill"`` sends the
+        current process an uncatchable ``SIGKILL`` instead — the real
+        thing, usable only inside a sacrificial worker process (the
+        sharded runtime's chaos tests).  The mid-checkpoint variant
+        still leaves the torn file behind before dying.
     """
 
     at_step: Optional[int] = None
@@ -63,6 +72,7 @@ class CrashInjector:
     seed: Optional[int] = None
     step_range: tuple[int, int] = (1, 10)
     torn_bytes: int = 128
+    mode: Literal["raise", "sigkill"] = "raise"
     #: Set once the crash has fired; a resumed run reusing the same
     #: injector will not be killed twice.
     fired: bool = field(default=False, init=False)
@@ -71,6 +81,10 @@ class CrashInjector:
         if self.phase not in ("step", "checkpoint"):
             raise ValueError(
                 f"phase must be 'step' or 'checkpoint', got {self.phase!r}"
+            )
+        if self.mode not in ("raise", "sigkill"):
+            raise ValueError(
+                f"mode must be 'raise' or 'sigkill', got {self.mode!r}"
             )
         if self.at_step is None:
             if self.seed is None:
@@ -90,7 +104,7 @@ class CrashInjector:
         """Die at the start of the configured step (phase ``"step"``)."""
         if self.phase == "step" and not self.fired and step == self.at_step:
             self.fired = True
-            raise SimulatedCrash(step, "step")
+            self._die(step, "step")
 
     def on_checkpoint_write(self, step: int, path, data: bytes) -> None:
         """Die mid-write of the checkpoint for ``step`` (phase
@@ -102,4 +116,9 @@ class CrashInjector:
         ):
             self.fired = True
             Path(path).write_bytes(data[: self.torn_bytes])
-            raise SimulatedCrash(step, "checkpoint")
+            self._die(step, "checkpoint")
+
+    def _die(self, step: int, phase: str) -> None:
+        if self.mode == "sigkill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise SimulatedCrash(step, phase)

@@ -193,15 +193,20 @@ class Registry:
         )
 
     # -- merge / export ----------------------------------------------------
-    def merge(self, other: "Registry") -> None:
+    def merge(self, other: "Registry", *, prefix: str = "") -> None:
         """Fold another registry in: counters and timings add up,
-        gauges take the other registry's (newer) value."""
+        gauges take the other registry's (newer) value.
+
+        ``prefix`` namespaces every incoming instrument (e.g.
+        ``prefix="shard.north."``), so merging several shard registries
+        aggregates them side by side instead of overwriting each other.
+        """
         for name, counter in other._counters.items():
-            self.counter(name).inc(counter.value)
+            self.counter(prefix + name).inc(counter.value)
         for name, gauge in other._gauges.items():
-            self.gauge(name).set(gauge.value)
+            self.gauge(prefix + name).set(gauge.value)
         for name, timing in other._timings.items():
-            mine = self.timing(name)
+            mine = self.timing(prefix + name)
             mine.count += timing.count
             mine.total += timing.total
             for bound in (timing.min, timing.max):

@@ -1,0 +1,39 @@
+"""Sharded multi-process recognition runtime.
+
+Per-region recognition workers as separate OS processes
+(:mod:`~repro.shard.worker`) fed over an abstracted message bus
+(:mod:`~repro.shard.bus`), each owning per-shard checkpoint + journal
+recovery (:mod:`~repro.shard.recovery`), supervised across process
+boundaries with heartbeats, liveness timeouts and restart budgets
+(:mod:`~repro.shard.supervisor`), coordinated deterministically so an
+N-worker run is byte-identical to single-process output
+(:mod:`~repro.shard.runtime`).
+"""
+
+from .bus import (
+    Endpoint,
+    PipeEndpoint,
+    PipeTransport,
+    ShardBus,
+    ShardConnectionLost,
+    Transport,
+)
+from .recovery import ShardCheckpointCoordinator
+from .runtime import ShardedRuntime, merge_in_region_order
+from .supervisor import ShardSupervisor
+from .worker import ShardWorker, shard_worker_main
+
+__all__ = [
+    "Endpoint",
+    "PipeEndpoint",
+    "PipeTransport",
+    "ShardBus",
+    "ShardConnectionLost",
+    "Transport",
+    "ShardCheckpointCoordinator",
+    "ShardedRuntime",
+    "merge_in_region_order",
+    "ShardSupervisor",
+    "ShardWorker",
+    "shard_worker_main",
+]

@@ -1,0 +1,181 @@
+"""Per-shard durability: one worker's checkpoint + write-ahead journal.
+
+Each shard worker owns a private recovery directory
+(``shard-<region>/``) holding the same on-disk artifacts as the PR-4
+single-process layer — checksummed ``checkpoint-%08d.ckpt`` files
+(:class:`~repro.recovery.checkpoint.CheckpointManager`) and one
+``journal-%08d.wal`` segment per checkpoint
+(:class:`~repro.recovery.journal.WriteAheadJournal`) — but scoped to
+that worker's engine only.  A restarted worker restores from *its own*
+newest valid checkpoint and replays at most the one journal segment
+that follows it, while sibling shards keep flowing untouched.
+
+The journal records three kinds::
+
+    {"kind": "feed",   "step": n, "events": [<dataset items>]}  # crowd SDEs
+    {"kind": "step",   "step": n, "q": t}                       # query begins
+    {"kind": "commit", "step": n}                               # query done
+
+written write-ahead (feed before the engine ingests, step before the
+query runs).  A ``step`` without its ``commit`` marks the in-flight
+query the worker died inside — replay does not re-execute it, the
+coordinator re-requests it.  Unlike the single-process coordinator
+there is no streamless mode: a shard checkpoint pickles the fed engine
+wholesale (a quarter-city engine is small enough), so ``restore`` never
+needs the scenario generator.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from ..obs import Registry
+from ..recovery.checkpoint import CheckpointManager
+from ..recovery.journal import WriteAheadJournal
+
+__all__ = ["ShardCheckpointCoordinator"]
+
+
+class ShardCheckpointCoordinator:
+    """Checkpoint/journal protocol for one shard worker.
+
+    Parameters
+    ----------
+    directory:
+        The shard's private recovery directory.
+    interval:
+        Checkpoint every ``interval`` recognition steps.
+    retain:
+        Checkpoints kept on disk (the step-0 baseline is never pruned).
+    crash:
+        Optional :class:`~repro.faults.crash.CrashInjector` wired into
+        the same two seams as the single-process coordinator:
+        ``before_step`` at the start of each step and
+        ``on_checkpoint_write`` just before the atomic replace.
+    metrics:
+        Registry for the ``recovery.*`` series (attached after restore,
+        since the restored registry lives inside the checkpoint).
+    """
+
+    def __init__(
+        self,
+        directory,
+        *,
+        interval: int = 10,
+        retain: int = 3,
+        crash=None,
+        metrics: Optional[Registry] = None,
+    ):
+        if interval < 1:
+            raise ValueError(f"interval must be at least 1, got {interval}")
+        self.directory = Path(directory)
+        self.interval = interval
+        self.crash = crash
+        self.metrics = metrics
+        self.manager = CheckpointManager(self.directory, retain=retain)
+        self.journal = WriteAheadJournal(self.directory)
+        self.base_step = 0
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def _journal(self, record: dict[str, Any]) -> None:
+        started = time.perf_counter()
+        self.journal.append(record)
+        if self.metrics is not None:
+            self.metrics.timing("recovery.journal.seconds").observe(
+                time.perf_counter() - started
+            )
+        self._count("recovery.journal.records")
+
+    # -- forward path --------------------------------------------------
+    def write_baseline(self, payload: Any) -> None:
+        """Write the step-0 checkpoint (the freshly fed engine) and
+        open segment 0."""
+        self._write(0, payload)
+
+    def begin_step(self, step: int, q: int) -> None:
+        """Journal the write-ahead record for ``step`` (and give the
+        crash injector its mid-step shot)."""
+        if self.crash is not None:
+            self.crash.before_step(step)
+        self._journal({"kind": "step", "step": step, "q": q})
+
+    def journal_feed(self, step: int, events: list[dict]) -> None:
+        """Journal admitted SDEs (as dataset items) before they are fed."""
+        self._journal({"kind": "feed", "step": step, "events": events})
+        self._count("recovery.journal.feed_events", len(events))
+
+    def commit_step(self, step: int) -> None:
+        """Journal that ``step``'s query completed."""
+        self._journal({"kind": "commit", "step": step})
+
+    def after_step(
+        self, step: int, payload_fn: Callable[[], Any]
+    ) -> bool:
+        """Checkpoint when the interval since the last one has passed.
+
+        ``payload_fn`` builds the (potentially large) state payload
+        lazily, so non-checkpoint steps pay nothing.  Returns whether a
+        checkpoint was written.
+        """
+        if step - self.base_step < self.interval:
+            return False
+        self._write(step, payload_fn())
+        return True
+
+    def complete(self, step: int) -> None:
+        """Journal a clean end of run and close the segment."""
+        self._journal({"kind": "complete", "step": step})
+        self.journal.close()
+
+    def _write(self, step: int, payload: Any) -> None:
+        started = time.perf_counter()
+        pre_replace = (
+            self.crash.on_checkpoint_write
+            if self.crash is not None
+            else None
+        )
+        if pre_replace is not None:
+            info = self.manager.save(
+                step,
+                payload,
+                pre_replace=lambda path, data: pre_replace(step, path, data),
+            )
+        else:
+            info = self.manager.save(step, payload)
+        self.base_step = step
+        self.journal.open(step)
+        oldest = self.manager.list()[0].step if self.manager.list() else step
+        self.journal.prune(oldest)
+        self._count("recovery.checkpoint.writes")
+        self._count("recovery.checkpoint.bytes", info.size)
+        if self.metrics is not None:
+            self.metrics.timing("recovery.checkpoint.seconds").observe(
+                time.perf_counter() - started
+            )
+
+    # -- restore path --------------------------------------------------
+    def restore_latest(self) -> tuple[Any, list[dict[str, Any]], int]:
+        """Load the newest valid checkpoint and its trailing segment.
+
+        Returns ``(payload, records, fallbacks)``: the checkpointed
+        state, the intact journal records written after it (the ≤1
+        segment to replay), and how many newer-but-invalid checkpoints
+        (torn mid-write files) were skipped.  The segment is archived
+        and reopened fresh — replayed work re-journals itself as it
+        re-executes, so a second crash before the next checkpoint
+        still loses nothing.
+
+        Raises :class:`~repro.recovery.checkpoint.NoValidCheckpoint`
+        when the directory holds no restorable state.
+        """
+        payload, info, fallbacks = self.manager.load_latest()
+        records = self.journal.read_segment(info.step)
+        self.base_step = info.step
+        self.journal.open(info.step, fresh=True)
+        return payload, records, fallbacks

@@ -64,6 +64,11 @@ class DegradationManager:
         self.metrics = metrics
         self._silent: dict[str, int] = {feed: 0 for feed in self.feeds}
         self._degraded: set[str] = set()
+        #: Feeds forced into degraded mode from outside the arrival
+        #: accounting (a shard whose restart budget is exhausted);
+        #: excluded from per-step liveness tracking since no arrival
+        #: can ever close them.
+        self._forced: set[str] = set()
         #: feed -> [(start, end-or-None), ...]; ``None`` means the
         #: outage was still open when the run finished.
         self.intervals: dict[str, list[tuple[int, Optional[int]]]] = {
@@ -94,6 +99,8 @@ class DegradationManager:
         Returns the degraded set after the update.
         """
         for feed in self.feeds:
+            if feed in self._forced:
+                continue
             count = arrivals.get(feed, 0)
             if count > 0:
                 if feed in self._degraded:
@@ -118,6 +125,30 @@ class DegradationManager:
                 )
         return self.degraded_feeds
 
+    def force_outage(self, feed: str, q: int) -> None:
+        """Declare ``feed`` degraded from outside the arrival
+        accounting, permanently for this run.
+
+        Used by the shard supervisor when a region's worker exhausts
+        its restart budget: the pseudo-feed ``shard:<region>`` enters
+        the outage timeline at ``q`` and never recovers (no arrival
+        count is tracked for it), so the region's alerts stay
+        suppressed while the surviving feeds keep their own breaker
+        semantics.  Idempotent.
+        """
+        if feed not in self.feeds:
+            self.feeds = self.feeds + (feed,)
+            self._silent[feed] = 0
+            self.intervals[feed] = []
+        self._forced.add(feed)
+        if feed in self._degraded:
+            return
+        self._degraded.add(feed)
+        self.intervals[feed].append((q, None))
+        self._count(feed, "outages")
+        if self.metrics is not None:
+            self.metrics.gauge(f"system.feed.{feed}.degraded").set(1.0)
+
     def finish(self) -> dict[str, list[tuple[int, Optional[int]]]]:
         """The outage timeline; still-open intervals keep ``end=None``."""
         return {
@@ -139,6 +170,7 @@ class DegradationManager:
         return {
             "silent": dict(self._silent),
             "degraded": sorted(self._degraded),
+            "forced": sorted(self._forced),
             "intervals": {
                 feed: [list(span) for span in spans]
                 for feed, spans in self.intervals.items()
@@ -147,12 +179,18 @@ class DegradationManager:
 
     def load_state_dict(self, state: Mapping) -> None:
         """Restore state captured by :meth:`state_dict`."""
+        for feed in state.get("forced", []):
+            if feed not in self.feeds:
+                self.feeds = self.feeds + (feed,)
         silent = state["silent"]
         self._silent = {
             feed: int(silent.get(feed, 0)) for feed in self.feeds
         }
         self._degraded = {
             feed for feed in state["degraded"] if feed in self.feeds
+        }
+        self._forced = {
+            feed for feed in state.get("forced", []) if feed in self.feeds
         }
         intervals = state["intervals"]
         self.intervals = {

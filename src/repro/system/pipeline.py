@@ -103,6 +103,31 @@ class SystemConfig:
     parallel_backend: Literal["thread", "process"] = "thread"
     #: Worker count for the executor (``None``: one per region).
     parallel_workers: Optional[int] = None
+    #: Sharded runtime (:mod:`repro.shard`): each region's engine runs
+    #: in its own supervised OS process with per-shard
+    #: checkpoint/journal recovery, fed over the message bus.  Output
+    #: is byte-identical to the single-process run; mutually exclusive
+    #: with ``parallel_regions`` (the sharded runtime *is* the parallel
+    #: deployment) and with a pipeline-level recovery coordinator
+    #: (each shard owns its recovery).
+    sharded: bool = False
+    #: Root directory for the per-shard recovery directories
+    #: (``shard-<region>/``); ``None`` uses a temporary directory that
+    #: is removed at the end of the run.
+    shard_dir: Optional[str] = None
+    #: Worker heartbeat cadence (seconds, wall clock).
+    shard_heartbeat_s: float = 0.25
+    #: Seconds without any worker message before the supervisor
+    #: declares it dead (must exceed the heartbeat cadence).
+    shard_liveness_timeout_s: float = 30.0
+    #: Restarts allowed per shard within one run before its breaker
+    #: latches open and the region degrades.
+    shard_max_restarts: int = 3
+    #: Base of the capped exponential restart backoff (seconds,
+    #: actually slept — worker restarts are wall-clock affairs).
+    shard_restart_backoff_s: float = 0.05
+    #: ``multiprocessing`` start method for the shard workers.
+    shard_start_method: Literal["fork", "spawn", "forkserver"] = "fork"
     #: Crowdsourcing: number of simulated participants and their
     #: error-probability range; participants are scattered near SCATS
     #: intersections.
@@ -188,6 +213,27 @@ class SystemConfig:
             raise ValueError("feed_outage_steps must be at least 1")
         if self.checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be at least 1")
+        if self.sharded and self.parallel_regions:
+            raise ValueError(
+                "sharded and parallel_regions are mutually exclusive: "
+                "the sharded runtime already runs one process per region"
+            )
+        if self.shard_heartbeat_s <= 0:
+            raise ValueError("shard_heartbeat_s must be positive")
+        if self.shard_liveness_timeout_s <= self.shard_heartbeat_s:
+            raise ValueError(
+                "shard_liveness_timeout_s must exceed shard_heartbeat_s "
+                "(a worker is only dead after missing heartbeats)"
+            )
+        if self.shard_max_restarts < 0:
+            raise ValueError("shard_max_restarts must not be negative")
+        if self.shard_restart_backoff_s < 0:
+            raise ValueError("shard_restart_backoff_s must not be negative")
+        if self.shard_start_method not in ("fork", "spawn", "forkserver"):
+            raise ValueError(
+                f"shard_start_method must be 'fork', 'spawn' or "
+                f"'forkserver', got {self.shard_start_method!r}"
+            )
         if self.fault_profile is not None:
             # Fail fast on unknown profile names (with the same
             # closest-match hint get_profile gives everywhere else).
@@ -245,6 +291,11 @@ class SystemReport:
     #: with ``end=None`` for an outage still open at the end of the
     #: run.  Empty when every feed stayed alive.
     degraded: dict = field(default_factory=dict)
+    #: Chronological shard supervisor events (worker restarts and
+    #: budget-exhausted failures) from a sharded run; empty otherwise.
+    #: Each entry carries ``event`` (``"restart"``/``"failed"``),
+    #: ``region``, ``step`` and ``q``.
+    shard_events: list = field(default_factory=list)
 
     def degraded_timeline(self) -> list[str]:
         """Human-readable outage timeline (one line per interval)."""
@@ -393,6 +444,15 @@ class UrbanTrafficSystem:
         self._bus_reports: dict[str, list[tuple[int, int]]] = {}
         #: Last crowd query time per intersection (cooldown filter).
         self._last_query_at: dict[str, int] = {}
+        #: Scripted per-region :class:`~repro.faults.crash.CrashInjector`
+        #: plans for the sharded runtime, consumed one per worker spawn
+        #: (the first arms the initial worker, the next its first
+        #: restart, ...).  Set by chaos tests before :meth:`run`.
+        self.shard_crash_plans: dict[str, list] = {}
+        self._shard_runtime = None
+        #: Crowd feedback produced while handling one step's results,
+        #: published to the shard workers in a single end-of-step batch.
+        self._crowd_feed_buffer: list[Event] = []
 
     # ------------------------------------------------------------------
     def _build_crowd_component(self) -> CrowdsourcingComponent:
@@ -512,6 +572,12 @@ class UrbanTrafficSystem:
         coordinator only observes — a run with checkpointing enabled
         produces exactly the output of one without.
         """
+        if recovery is not None and self.config.sharded:
+            raise ValueError(
+                "sharded runs use per-shard recovery (each worker owns "
+                "its checkpoint directory); a pipeline-level "
+                "CheckpointCoordinator cannot be attached as well"
+            )
         if recovery is not None:
             # The baseline checkpoint is written *before* the stream is
             # generated and fed: the snapshot then holds no pending
@@ -544,6 +610,29 @@ class UrbanTrafficSystem:
             # checkpoints drop the pending stream instead of
             # re-serialising the whole future at every write.
             self.engines[region].mark_stream_fed()
+
+        if self.config.sharded:
+            # Ship the fully fed engines out to one worker process per
+            # region; from here on the workers own engine evolution and
+            # the parent only merges snapshots (and records the same
+            # metrics from them as the in-process path would).
+            from ..shard import ShardedRuntime
+
+            cfg = self.config
+            self._shard_runtime = ShardedRuntime(
+                list(self.engines),
+                metrics=self.metrics,
+                checkpoint_interval=cfg.checkpoint_interval,
+                directory=cfg.shard_dir,
+                start_method=cfg.shard_start_method,
+                heartbeat_s=cfg.shard_heartbeat_s,
+                liveness_timeout_s=cfg.shard_liveness_timeout_s,
+                max_restarts=cfg.shard_max_restarts,
+                backoff_base_s=cfg.shard_restart_backoff_s,
+                degradation=self.degradation,
+                crash_plans=self.shard_crash_plans,
+            )
+            self._shard_runtime.start(self.engines)
 
         logs = {region: RecognitionLog() for region in self.engines}
         state = RunState(
@@ -619,7 +708,13 @@ class UrbanTrafficSystem:
                     recovery.begin_step(step, q, arrivals)
                 state.step_index = step
                 degraded = self.degradation.observe(q, arrivals)
-                snapshots = self._query_regions(q, executor)
+                if self._shard_runtime is not None:
+                    snapshots = self._shard_runtime.query_step(step, q)
+                    # A shard whose restart budget was exhausted inside
+                    # query_step entered the degraded set mid-step.
+                    degraded = self.degradation.degraded_feeds
+                else:
+                    snapshots = self._query_regions(q, executor)
                 crowd_before = report.crowd_resolutions
                 for region, snapshot in snapshots.items():
                     self._record_query_metrics(region, snapshot)
@@ -628,6 +723,14 @@ class UrbanTrafficSystem:
                     self._handle_disagreements(
                         region, q, snapshot, fresh, report, degraded
                     )
+                if (
+                    self._shard_runtime is not None
+                    and self._crowd_feed_buffer
+                ):
+                    self._shard_runtime.publish_feed(
+                        step, self._crowd_feed_buffer
+                    )
+                    self._crowd_feed_buffer = []
                 q += self.config.step
                 state.next_q = q
                 if recovery is not None:
@@ -635,12 +738,27 @@ class UrbanTrafficSystem:
                         step, report.crowd_resolutions - crowd_before
                     )
                     recovery.after_step(self, state)
+        except BaseException:
+            # Abort path: kill what will not drain, release channels.
+            if self._shard_runtime is not None:
+                self._shard_runtime.shutdown()
+                self._shard_runtime = None
+            raise
         finally:
             self.metrics.timing("ingest.loop_seconds").observe(
                 time.perf_counter() - loop_started
             )
             if executor is not None:
                 executor.shutdown()
+
+        # Drain the shard workers *outside* the timed loop (spawn and
+        # shutdown are deployment cost, not steady-state recognition
+        # cost — the sharded-overhead bench gates the loop time) but
+        # *before* the metrics export, so the per-worker registries
+        # merge into the report under ``shard.<region>.*``.
+        if self._shard_runtime is not None:
+            report.shard_events = self._shard_runtime.shutdown()
+            self._shard_runtime = None
 
         report.degraded = self.degradation.finish()
         report.flow_estimates = self.estimate_citywide(state.end)
@@ -664,6 +782,8 @@ class UrbanTrafficSystem:
         ``system.parallel.pickle_fallback`` gauge.
         """
         cfg = self.config
+        if self._shard_runtime is not None:
+            return None  # the workers are the parallelism
         if not cfg.parallel_regions or len(self.engines) < 2:
             return None
         workers = cfg.parallel_workers or len(self.engines)
@@ -918,14 +1038,28 @@ class UrbanTrafficSystem:
             )
             # Feedback: the crowd SDE re-enters every engine so the
             # noisy-bus rules can use it at the next query time.
-            for engine in self.engines.values():
-                engine.feed([outcome.crowd_event])
+            self._feed_crowd_event(outcome.crowd_event)
             self.console.notify(
                 outcome.crowd_event.time, "crowd resolution", str(int_id),
                 f"crowd says {outcome.crowd_event['value']} "
                 f"(confidence {outcome.crowd_event['confidence']:.2f})",
                 region,
             )
+
+    def _feed_crowd_event(self, event: Event) -> None:
+        """Crowd feedback re-enters recognition.
+
+        In-process: straight into every engine.  Sharded: buffered for
+        one end-of-step publish over the bus — same recognition output,
+        because a crowd SDE occurs after the current query time and is
+        only ever visible from the next step onward, and the buffer
+        preserves the in-process feed order.
+        """
+        if self._shard_runtime is not None:
+            self._crowd_feed_buffer.append(event)
+            return
+        for engine in self.engines.values():
+            engine.feed([event])
 
     # ------------------------------------------------------------------
     def estimate_citywide(self, t: int) -> dict:

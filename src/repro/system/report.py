@@ -29,6 +29,110 @@ pre { background: #f7f7f7; padding: 1em; overflow-x: auto; }
 """
 
 
+def _breaker_label(level: float) -> str:
+    """Map the 0/0.5/1 breaker-state gauge back to its name."""
+    if level >= 1.0:
+        return "open"
+    if level >= 0.5:
+        return "half-open"
+    return "closed"
+
+
+def _outage_section(report: SystemReport, counters, gauges) -> str:
+    """The reliability story of the run in one place: degraded-feed
+    intervals interleaved with shard supervisor events on the
+    simulation clock, final breaker states, and dead-letter pressure
+    (``dlq.dropped`` means the bounded queue evicted evidence)."""
+    timeline: list[tuple[int, str, str]] = []
+    for feed in sorted(report.degraded):
+        for start, end in report.degraded[feed]:
+            span = (
+                f"recovered at t={end}s"
+                if end is not None
+                else "until end of run"
+            )
+            timeline.append((start, f"feed {feed}", f"degraded ({span})"))
+    for event in report.shard_events:
+        region = event.get("region", "?")
+        if event.get("event") == "restart":
+            what = (
+                f"worker restarted from its checkpoint (attempt "
+                f"{event.get('attempt', '?')}, step {event.get('step', '?')})"
+            )
+        else:
+            what = (
+                f"restart budget exhausted after {event.get('deaths', '?')} "
+                "worker deaths — region degraded for the rest of the run"
+            )
+        timeline.append((int(event.get("q", 0)), f"shard {region}", what))
+    timeline.sort(key=lambda entry: entry[0])
+    timeline_rows = "".join(
+        f'<tr><td class="num">{t}</td><td>{html.escape(source)}</td>'
+        f"<td>{html.escape(what)}</td></tr>"
+        for t, source, what in timeline
+    )
+
+    breaker_rows = []
+    for name in sorted(gauges):
+        if name.startswith("streams.breaker.") and name.endswith(".state"):
+            target = name[len("streams.breaker."):-len(".state")]
+            breaker_rows.append(
+                (f"stream input {target}", _breaker_label(gauges[name]))
+            )
+        elif name.startswith("shard.breaker.") and name.endswith(".state"):
+            region = name[len("shard.breaker."):-len(".state")]
+            breaker_rows.append(
+                (f"shard {region}", _breaker_label(gauges[name]))
+            )
+        elif name.startswith("system.feed.") and name.endswith(".degraded"):
+            feed = name[len("system.feed."):-len(".degraded")]
+            breaker_rows.append(
+                (
+                    f"feed {feed}",
+                    "degraded" if gauges[name] >= 1.0 else "healthy",
+                )
+            )
+    breaker_table = "".join(
+        f"<tr><td>{html.escape(target)}</td>"
+        f"<td>{html.escape(state)}</td></tr>"
+        for target, state in breaker_rows
+    )
+
+    dead_letters = int(counters.get("streams.supervision.dead_letters", 0))
+    dlq_dropped = int(counters.get("streams.supervision.dlq.dropped", 0))
+    dlq_line = ""
+    if dead_letters or dlq_dropped:
+        dlq_line = (
+            f"<p>dead letters filed: {dead_letters} · evicted from the "
+            f"bounded queue (<code>dlq.dropped</code>): {dlq_dropped}</p>"
+        )
+
+    if not (timeline_rows or breaker_table or dlq_line):
+        return ""
+    parts = [
+        "<h2>outage timeline</h2>",
+        "<p>feed outages and shard supervisor events on the simulation "
+        "clock; alerts derived from a degraded feed or failed shard "
+        "were suppressed.</p>",
+    ]
+    if timeline_rows:
+        parts.append(
+            "<table><tr><th>t (s)</th><th>source</th><th>event</th></tr>"
+            f"{timeline_rows}</table>"
+        )
+    else:
+        parts.append("<p>no outages during this run.</p>")
+    if breaker_table:
+        parts.append(
+            "<h2>breakers at end of run</h2>"
+            "<table><tr><th>target</th><th>state</th></tr>"
+            f"{breaker_table}</table>"
+        )
+    if dlq_line:
+        parts.append("<h2>dead letters</h2>" + dlq_line)
+    return "".join(parts)
+
+
 def render_html_report(
     system: UrbanTrafficSystem,
     report: SystemReport,
@@ -105,18 +209,7 @@ def render_html_report(
         else ""
     )
 
-    degraded_rows = "".join(
-        f"<tr><td>{html.escape(line)}</td></tr>"
-        for line in report.degraded_timeline()
-    )
-    degraded_section = (
-        "<h2>degraded intervals</h2>"
-        "<p>feeds whose breaker opened during the run; alerts derived "
-        "from a degraded feed were suppressed.</p>"
-        f"<table>{degraded_rows}</table>"
-        if degraded_rows
-        else ""
-    )
+    degraded_section = _outage_section(report, counters, gauges)
 
     return f"""<!DOCTYPE html>
 <html lang="en"><head><meta charset="utf-8">

@@ -1,0 +1,99 @@
+"""Tests for the shard message bus and its transport abstraction."""
+
+import pytest
+
+from repro.shard import (
+    PipeTransport,
+    ShardBus,
+    ShardConnectionLost,
+)
+
+
+class TestPipeTransport:
+    def test_pair_roundtrip_both_directions(self):
+        ours, theirs = PipeTransport().pair()
+        ours.send(("query", {"step": 3, "q": 900}))
+        assert theirs.recv() == ("query", {"step": 3, "q": 900})
+        theirs.send(("snapshot", {"region": "north"}))
+        assert ours.recv() == ("snapshot", {"region": "north"})
+        ours.close()
+        theirs.close()
+
+    def test_poll_reports_readiness(self):
+        ours, theirs = PipeTransport().pair()
+        assert not ours.poll(0.0)
+        theirs.send(("heartbeat", {}))
+        assert ours.poll(1.0)
+        ours.recv()
+        assert not ours.poll(0.0)
+        ours.close()
+        theirs.close()
+
+    def test_peer_close_normalised_to_connection_lost(self):
+        ours, theirs = PipeTransport().pair()
+        theirs.close()
+        with pytest.raises(ShardConnectionLost):
+            ours.recv()
+
+    def test_endpoint_close_is_idempotent(self):
+        ours, theirs = PipeTransport().pair()
+        ours.close()
+        ours.close()
+        theirs.close()
+
+
+class TestShardBus:
+    def test_send_addresses_one_shard(self):
+        bus = ShardBus(PipeTransport())
+        worker_ends = {
+            region: bus.open_channel(region) for region in ("north", "south")
+        }
+        bus.send("north", "query", step=1, q=300)
+        assert worker_ends["north"].recv() == ("query", {"step": 1, "q": 300})
+        assert not worker_ends["south"].poll(0.0)
+        bus.close()
+
+    def test_publish_fans_out_to_every_shard(self):
+        bus = ShardBus(PipeTransport())
+        regions = ("north", "south", "west")
+        worker_ends = {r: bus.open_channel(r) for r in regions}
+        failures = bus.publish("feed", step=2, sdes=[])
+        assert failures == {}
+        for end in worker_ends.values():
+            assert end.recv() == ("feed", {"step": 2, "sdes": []})
+        bus.close()
+
+    def test_publish_reports_dead_channels_without_raising(self):
+        bus = ShardBus(PipeTransport())
+        alive = bus.open_channel("north")
+        dead = bus.open_channel("south")
+        dead.close()
+        # Fill no buffers: a closed peer only surfaces on send for
+        # pipes once the fd is really gone, so close our side's peer
+        # handle and force the failure path deterministically.
+        bus.endpoint("south").close()
+        failures = bus.publish("feed", step=0, sdes=[])
+        assert set(failures) == {"south"}
+        assert isinstance(failures["south"], ShardConnectionLost)
+        assert alive.recv()[0] == "feed"
+        bus.close()
+
+    def test_open_channel_replaces_previous_channel(self):
+        bus = ShardBus(PipeTransport())
+        first = bus.open_channel("north")
+        second = bus.open_channel("north")
+        bus.send("north", "query", step=9, q=2700)
+        assert second.recv() == ("query", {"step": 9, "q": 2700})
+        with pytest.raises(ShardConnectionLost):
+            first.recv()  # old channel was closed on replacement
+        assert bus.shards() == ["north"]
+        bus.close()
+
+    def test_detach_forgets_the_shard(self):
+        bus = ShardBus(PipeTransport())
+        bus.open_channel("north")
+        bus.detach("north")
+        bus.detach("north")  # idempotent
+        assert bus.shards() == []
+        with pytest.raises(KeyError):
+            bus.send("north", "query", step=0, q=0)

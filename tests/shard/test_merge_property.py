@@ -1,0 +1,45 @@
+"""Property test: the deterministic merge is invariant under worker
+completion order.
+
+The coordinator collects per-shard snapshots as workers finish —
+potentially in any order — and :func:`merge_in_region_order` must
+always emit them in the configured region order, so an N-worker run is
+byte-identical to the single-process loop regardless of scheduling.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.shard import merge_in_region_order
+
+REGION_NAMES = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8
+    ),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+@given(regions=REGION_NAMES, data=st.data())
+def test_merge_invariant_under_completion_order(regions, data):
+    results = {region: object() for region in regions}
+    completion_order = data.draw(st.permutations(regions))
+    # Rebuild the results mapping in the drawn completion order — dict
+    # insertion order is exactly what a naive merge would leak.
+    shuffled = {region: results[region] for region in completion_order}
+    merged = merge_in_region_order(shuffled, regions)
+    assert merged == [(region, results[region]) for region in regions]
+
+
+@given(regions=REGION_NAMES, data=st.data())
+def test_merge_skips_regions_without_results(regions, data):
+    missing = set(data.draw(st.sets(st.sampled_from(regions))))
+    results = {r: object() for r in regions if r not in missing}
+    completion_order = data.draw(st.permutations(list(results)))
+    shuffled = {region: results[region] for region in completion_order}
+    merged = merge_in_region_order(shuffled, regions)
+    assert [region for region, _ in merged] == [
+        region for region in regions if region not in missing
+    ]

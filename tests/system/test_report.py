@@ -70,3 +70,57 @@ class TestHtmlReport:
         a = render_html_report(system, report, at=1200)
         b = render_html_report(system, report, at=1200)
         assert a == b
+
+
+class TestOutageTimeline:
+    def test_shard_events_and_breakers_rendered(self, run):
+        system, report = run
+        report.shard_events = [
+            {
+                "event": "restart",
+                "region": "north",
+                "step": 5,
+                "q": 1500,
+                "attempt": 1,
+            },
+            {
+                "event": "failed",
+                "region": "north",
+                "step": 7,
+                "q": 2100,
+                "reason": "worker exited",
+                "deaths": 2,
+            },
+        ]
+        report.degraded = {"shard:north": [(2100, None)]}
+        report.metrics.setdefault("gauges", {})[
+            "shard.breaker.north.state"
+        ] = 1.0
+        report.metrics.setdefault("counters", {})[
+            "streams.supervision.dead_letters"
+        ] = 3
+        report.metrics["counters"]["streams.supervision.dlq.dropped"] = 1
+        try:
+            doc = render_html_report(system, report, at=1200)
+        finally:
+            report.shard_events = []
+            report.degraded = {}
+            del report.metrics["gauges"]["shard.breaker.north.state"]
+            del report.metrics["counters"]["streams.supervision.dead_letters"]
+            del report.metrics["counters"]["streams.supervision.dlq.dropped"]
+        assert "outage timeline" in doc
+        assert "worker restarted from its checkpoint (attempt 1, step 5)" in doc
+        assert "restart budget exhausted after 2 worker deaths" in doc
+        assert "feed shard:north" in doc
+        assert "breakers at end of run" in doc
+        assert "shard north" in doc and "open" in doc
+        assert "dead letters filed: 3" in doc
+        assert "1" in doc  # dlq.dropped
+
+    def test_degraded_feed_states_always_listed(self, run):
+        system, report = run
+        doc = render_html_report(system, report, at=1200)
+        # The per-feed degraded gauges exist on every run, so the
+        # breaker table is always present even with no outages.
+        assert "breakers at end of run" in doc
+        assert "feed scats" in doc and "feed bus" in doc
