@@ -9,6 +9,7 @@ Subcommands mirror the library's main entry points::
     repro-traffic map       --at 900          # GP city flow map
     repro-traffic crowd     --queries 500     # online EM demo
     repro-traffic faults                      # list fault profiles
+    repro-traffic scenarios run --matrix      # acceptance-envelope matrix
 
 Every command is deterministic given ``--seed``.  Also runnable as
 ``python -m repro.cli``.
@@ -492,6 +493,85 @@ def _cmd_crowd(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    import json
+
+    from .scenarios import (
+        SCENARIO_LIBRARY,
+        get_scenario,
+        run_matrix,
+        write_matrix_report,
+    )
+
+    if args.action == "list":
+        print(f"{'scenario':<24}{'family':<14}description")
+        for spec in SCENARIO_LIBRARY:
+            print(
+                f"{spec.name:<24}{spec.topology.family:<14}"
+                f"{spec.description}"
+            )
+        return 0
+
+    if args.action == "show":
+        print(json.dumps(get_scenario(args.name).to_mapping(), indent=2))
+        return 0
+
+    # action == "run"
+    if args.matrix and args.names:
+        raise ValueError(
+            "--matrix runs the whole library; drop the scenario names "
+            "or the flag"
+        )
+    if args.names:
+        specs = [get_scenario(name) for name in args.names]
+    else:
+        # --matrix (and the bare default): the whole library.
+        specs = list(SCENARIO_LIBRARY)
+
+    def _progress(run) -> None:
+        print(run.envelope.format())
+
+    result = run_matrix(
+        specs,
+        duration=args.duration,
+        check_parity=not args.no_parity,
+        progress=_progress,
+    )
+    n_pass = len(result.runs) - result.n_failed
+    families = {run.spec.topology.family for run in result.runs}
+    print(
+        f"matrix: {n_pass}/{len(result.runs)} scenarios passed "
+        f"({len(families)} topology families)"
+    )
+    if args.report is not None:
+        path = write_matrix_report(result, args.report)
+        print(f"HTML report written to {path}")
+    if args.json is not None:
+        payload = [
+            {
+                "scenario": run.spec.name,
+                "family": run.spec.topology.family,
+                "passed": run.passed,
+                "clauses": [
+                    {
+                        "kind": clause.kind,
+                        "subject": clause.subject,
+                        "expected": clause.expected,
+                        "observed": clause.observed,
+                        "passed": clause.passed,
+                    }
+                    for clause in run.envelope.clauses
+                ],
+            }
+            for run in result.runs
+        ]
+        from .ioutils import atomic_write_text
+
+        atomic_write_text(args.json, json.dumps(payload, indent=2))
+        print(f"JSON verdicts written to {args.json}")
+    return 0 if result.passed else 1
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for doc generation)."""
@@ -681,6 +761,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.add_argument("--seed", type=int, default=0)
     faults.set_defaults(fn=_cmd_faults)
+
+    scenarios = subparsers.add_parser(
+        "scenarios",
+        help="scenario DSL: list, show or run the generator matrix "
+        "with per-scenario acceptance envelopes (docs/scenarios.md)",
+    )
+    scenario_actions = scenarios.add_subparsers(
+        dest="action", required=True
+    )
+    scenario_actions.add_parser(
+        "list", help="list the built-in scenario library"
+    ).set_defaults(fn=_cmd_scenarios)
+    show = scenario_actions.add_parser(
+        "show", help="dump one scenario spec as JSON"
+    )
+    show.add_argument("name", help="scenario name (see 'scenarios list')")
+    show.set_defaults(fn=_cmd_scenarios)
+    scenario_run = scenario_actions.add_parser(
+        "run",
+        help="run scenarios and check their acceptance envelopes "
+        "(exit 1 on any envelope failure)",
+    )
+    scenario_run.add_argument(
+        "names", nargs="*", metavar="NAME",
+        help="scenarios to run (default: the whole library)",
+    )
+    scenario_run.add_argument(
+        "--matrix", action="store_true",
+        help="run the whole library (explicit form of the default)",
+    )
+    scenario_run.add_argument(
+        "--duration", type=int, default=None, metavar="S",
+        help="override every scenario's simulated duration",
+    )
+    scenario_run.add_argument(
+        "--no-parity", action="store_true",
+        help="skip the parity variant runs (their envelope clauses "
+        "then fail as unchecked)",
+    )
+    scenario_run.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the matrix verdicts as a standalone HTML report",
+    )
+    scenario_run.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the matrix verdicts as JSON",
+    )
+    scenario_run.set_defaults(fn=_cmd_scenarios)
 
     return parser
 

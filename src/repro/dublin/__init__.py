@@ -32,7 +32,9 @@ from .ground_truth import (
     FREE_FLOW_SPEED_KMH,
     JAM_DENSITY_VEH_KM,
     Incident,
+    Surge,
     TrafficGroundTruth,
+    WeatherSlowdown,
     daily_profile,
     greenshields_flow,
     greenshields_speed,
@@ -55,6 +57,8 @@ __all__ = [
     "place_scats_topology",
     "TrafficGroundTruth",
     "Incident",
+    "Surge",
+    "WeatherSlowdown",
     "daily_profile",
     "greenshields_speed",
     "greenshields_flow",

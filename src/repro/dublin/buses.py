@@ -23,6 +23,7 @@ import heapq
 import random
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..core.events import Event, FluentFact
 from .ground_truth import FREE_FLOW_SPEED_KMH, TrafficGroundTruth
@@ -178,6 +179,15 @@ class BusFleetSimulator:
                     ),
                 )
             )
+        #: Frozen initial kinematics, restored at the top of every
+        #: :meth:`events` call so the stream is a pure function of
+        #: ``(start, end, seed)`` — repeated generation from one fleet
+        #: object is byte-identical (checkpoint/resume and the scenario
+        #: round-trip tests rely on this).
+        self._initial_states: list[tuple[int, float, int]] = [
+            (bus.direction, bus.position_m, bus.next_emission)
+            for bus in self._buses
+        ]
 
     # ------------------------------------------------------------------
     def unreliable_buses(self) -> set[str]:
@@ -248,21 +258,31 @@ class BusFleetSimulator:
         return truth
 
     def events(
-        self, start: int, end: int
+        self, start: int, end: int, *, rng: Optional[random.Random] = None
     ) -> Iterator[tuple[Event, FluentFact]]:
         """Yield ``(move SDE, gps fact)`` pairs in ``[start, end)``.
 
         The stream is generated chronologically with a per-bus
         emission clock; the ``Delay`` attribute compares the bus's
         actual progress against the scheduled speed.
+
+        ``rng`` is the explicit randomness source for emission jitter
+        and arrival delays; when omitted a fresh seeded stream derived
+        from the fleet seed is used, so every call with the same span
+        yields the identical stream.  Global ``random`` state is never
+        read.
         """
         if end <= start:
             return
         lo, hi = self.emission_period
-        rng = random.Random(self.seed + 1)
-        # Per-bus local clocks, advanced in global time order.
+        if rng is None:
+            rng = random.Random(self.seed + 1)
+        # Per-bus local clocks, advanced in global time order.  Bus
+        # kinematics restart from the frozen initial states: a second
+        # generation pass must not continue where the first left off.
         clock: dict[str, int] = {}
-        for bus in self._buses:
+        for bus, initial in zip(self._buses, self._initial_states):
+            bus.direction, bus.position_m, bus.next_emission = initial
             clock[bus.bus_id] = start + bus.next_emission % hi
             bus.started_at = start
             bus.distance_travelled_m = 0.0

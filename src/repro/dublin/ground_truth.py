@@ -83,6 +83,56 @@ class Incident:
         return self.start <= t < self.start + self.duration
 
 
+@dataclass(frozen=True)
+class Surge:
+    """A crowd-event demand surge (stadium, concert, parade).
+
+    Unlike an :class:`Incident` — a point disruption felt only at the
+    epicentre and its direct neighbours — a surge floods a whole
+    neighbourhood: added density decays linearly with graph-hop
+    distance from the venue out to ``radius_hops``, and ramps up and
+    down over the first/last quarter of the event window (crowds
+    arrive and disperse, they do not teleport).
+    """
+
+    node: object
+    start: int
+    duration: int
+    #: Added density at the venue itself (veh/km) at full ramp.
+    magnitude: float = 60.0
+    #: Graph-hop radius of the affected neighbourhood.
+    radius_hops: int = 2
+
+    def ramp(self, t: int) -> float:
+        """Intensity in [0, 1] at ``t`` (trapezoidal ramp)."""
+        if not self.start <= t < self.start + self.duration:
+            return 0.0
+        edge = max(self.duration // 4, 1)
+        into = t - self.start
+        left = self.start + self.duration - t
+        return min(1.0, into / edge, left / edge)
+
+
+@dataclass(frozen=True)
+class WeatherSlowdown:
+    """A city-wide weather window (rain, fog, ice) thickening traffic.
+
+    Modelled as a multiplicative density factor: the same demand
+    occupies the road for longer, so measured density rises everywhere
+    and the Greenshields speed drops with it — buses slow down, delays
+    grow, and marginal junctions tip over the congestion threshold.
+    """
+
+    start: int
+    end: int
+    #: Density multiplier while active (> 1 slows the city down).
+    density_factor: float = 1.4
+
+    def factor(self, t: int) -> float:
+        """The density multiplier at ``t`` (1.0 outside the window)."""
+        return self.density_factor if self.start <= t < self.end else 1.0
+
+
 @dataclass
 class TrafficGroundTruth:
     """Deterministic true traffic state over a street network.
@@ -100,6 +150,10 @@ class TrafficGroundTruth:
     incidents:
         Explicit incidents; when ``None``, ``n_random_incidents`` are
         placed pseudo-randomly inside ``incident_window``.
+    surges:
+        Crowd-event demand surges (:class:`Surge`); empty by default.
+    weather:
+        City-wide :class:`WeatherSlowdown` windows; empty by default.
     """
 
     network: StreetNetwork
@@ -109,8 +163,11 @@ class TrafficGroundTruth:
     incidents: Optional[list[Incident]] = None
     n_random_incidents: int = 6
     incident_window: tuple[int, int] = (0, 24 * SECONDS_PER_HOUR)
+    surges: tuple[Surge, ...] = ()
+    weather: tuple[WeatherSlowdown, ...] = ()
     _phase: dict = field(default_factory=dict, repr=False)
     _neighbour_cache: dict = field(default_factory=dict, repr=False)
+    _hop_cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         rng = random.Random(self.seed)
@@ -184,6 +241,44 @@ class TrafficGroundTruth:
                     extra += incident.severity / 2.0
         return extra
 
+    def _hops_from(self, origin, radius: int) -> dict:
+        """Graph-hop distances from ``origin`` out to ``radius``
+        (BFS, cached per (origin, radius))."""
+        key = (origin, radius)
+        if key not in self._hop_cache:
+            hops = {origin: 0}
+            frontier = [origin]
+            for depth in range(1, radius + 1):
+                nxt = []
+                for node in frontier:
+                    for neighbour in self.network.graph.neighbors(node):
+                        if neighbour not in hops:
+                            hops[neighbour] = depth
+                            nxt.append(neighbour)
+                frontier = nxt
+            self._hop_cache[key] = hops
+        return self._hop_cache[key]
+
+    def _surge_density(self, node, t: int) -> float:
+        extra = 0.0
+        for surge in self.surges:
+            ramp = surge.ramp(t)
+            if ramp <= 0.0:
+                continue
+            hops = self._hops_from(surge.node, surge.radius_hops)
+            hop = hops.get(node)
+            if hop is None:
+                continue
+            decay = 1.0 - hop / (surge.radius_hops + 1)
+            extra += surge.magnitude * ramp * decay
+        return extra
+
+    def _weather_factor(self, t: int) -> float:
+        factor = 1.0
+        for window in self.weather:
+            factor *= window.factor(t)
+        return factor
+
     def density(self, node, t: int) -> float:
         """True density (veh/km) at a junction and time."""
         phase, amplitude = self._phase[node]
@@ -193,6 +288,8 @@ class TrafficGroundTruth:
         demand = base * daily_profile(t) * amplitude
         wiggle = 1.5 * math.sin(2.0 * math.pi * t / 1800.0 + phase)
         density = demand + wiggle + self._incident_density(node, t)
+        density += self._surge_density(node, t)
+        density *= self._weather_factor(t)
         return min(max(density, 0.0), JAM_DENSITY_VEH_KM)
 
     def flow(self, node, t: int) -> float:

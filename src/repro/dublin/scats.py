@@ -20,6 +20,7 @@ from __future__ import annotations
 import random
 from collections.abc import Iterator, Mapping
 from dataclasses import dataclass
+from typing import Optional
 
 from ..core.events import Event
 from ..core.traffic import ScatsTopology
@@ -113,15 +114,24 @@ class ScatsSensorSimulator:
         )
         return density, flow
 
-    def events(self, start: int, end: int) -> Iterator[Event]:
+    def events(
+        self, start: int, end: int, *, rng: Optional[random.Random] = None
+    ) -> Iterator[Event]:
         """Yield the ``traffic`` SDEs with occurrence in ``[start, end)``.
 
         Events are generated sensor by sensor; callers needing global
         time order should sort (the RTEC engine sorts internally).
+
+        ``rng`` is the explicit randomness source for measurement
+        noise and mediator batching delays; when omitted a fresh
+        seeded stream derived from the simulator seed is used, so the
+        call is a pure function of ``(start, end, seed)``.  Global
+        ``random`` state is never read.
         """
         if end <= start:
             return
-        rng = random.Random(self.seed + 1)
+        if rng is None:
+            rng = random.Random(self.seed + 1)
         for int_id in self.topology.ids():
             node = self.node_of[int_id]
             for sensor_key in self.topology.sensors_of(int_id):

@@ -1,0 +1,164 @@
+"""Compile a :class:`~repro.scenarios.spec.ScenarioSpec` into the same
+:class:`~repro.dublin.scenario.DublinScenario` object the Dublin module
+produces.
+
+The compiler is the bridge between the declarative DSL and the running
+system: it builds the street network for the requested topology family,
+translates the storm / stadium / weather sections into explicit
+:class:`~repro.dublin.ground_truth.Incident`, :class:`Surge` and
+:class:`WeatherSlowdown` objects (each from its own seed stream, so
+adding a weather window never re-rolls the storm), wires a
+:class:`TrafficGroundTruth` around them, and hands both through the
+``DublinScenario`` injection seam.  Everything downstream — SCATS
+placement, bus lines, region split, every recognition pipeline —
+treats the result exactly like procedural Dublin.
+
+Two conventions keep scenarios meaningful:
+
+* All section times (storm window, stadium ``at``, weather window) are
+  seconds *from scenario start*; the compiler shifts them onto the
+  absolute simulation clock, so a spec reads the same whether the run
+  starts at 03:00 or 08:30.
+* Storm epicentres and the stadium venue are drawn from the junctions
+  that will carry a SCATS intersection.  The compiler reproduces the
+  exact placement ``DublinScenario`` will compute (same function, same
+  derived seed), so "monitored junction" means precisely the sensors
+  the recognition pipeline reads.
+
+Pure function of the spec: same spec → byte-identical SDE stream.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..dublin.ground_truth import (
+    Incident,
+    Surge,
+    TrafficGroundTruth,
+    WeatherSlowdown,
+)
+from ..dublin.network import StreetNetwork, place_scats_topology
+from ..dublin.scenario import DublinScenario, ScenarioConfig
+from .spec import ScenarioSpec
+from .topologies import build_network
+
+__all__ = ["compile_scenario", "compile_ground_truth"]
+
+#: Seed offsets, disjoint from the ``seed + 1 .. seed + 5`` offsets
+#: DublinScenario derives internally for placement and the simulators.
+_SEED_STORM = 6
+_SEED_STADIUM = 7
+
+
+def _scenario_config(spec: ScenarioSpec, network: StreetNetwork):
+    n_junctions = network.graph.number_of_nodes()
+    n_intersections = max(4, round(spec.sensors.coverage * n_junctions))
+    return ScenarioConfig(
+        seed=spec.seed,
+        n_intersections=n_intersections,
+        sensors_range=spec.sensors.sensors_range,
+        n_buses=spec.fleet.n_buses,
+        n_lines=spec.fleet.n_lines,
+        unreliable_fraction=spec.fleet.unreliable_fraction,
+        unreliable_mode=spec.fleet.unreliable_mode,
+        scats_fault_rate=spec.sensors.fault_rate,
+    )
+
+
+def _monitored_nodes(
+    spec: ScenarioSpec, network: StreetNetwork
+) -> list:
+    """The junctions that will carry a SCATS intersection — computed
+    with the same placement call (and the same ``seed + 1``)
+    ``DublinScenario`` performs, so the two never disagree."""
+    config = _scenario_config(spec, network)
+    _, node_of = place_scats_topology(
+        network,
+        n_intersections=config.n_intersections,
+        sensors_range=config.sensors_range,
+        seed=config.seed + 1,
+    )
+    return sorted(set(node_of.values()))
+
+
+def _storm_incidents(
+    spec: ScenarioSpec, nodes: list
+) -> list[Incident]:
+    """Materialise the storm section as explicit incidents."""
+    storm = spec.storm
+    assert storm is not None
+    rng = random.Random(spec.seed + _SEED_STORM)
+    window = storm.window or (0, spec.duration)
+    lo_t = spec.start + window[0]
+    hi_t = spec.start + window[1]
+    sev_lo, sev_hi = storm.severity
+    len_lo, len_hi = storm.length
+    incidents = []
+    for _ in range(storm.n_incidents):
+        incidents.append(
+            Incident(
+                node=rng.choice(nodes),
+                start=rng.randrange(lo_t, max(hi_t, lo_t + 1)),
+                duration=rng.randrange(len_lo, len_hi + 1),
+                severity=rng.uniform(sev_lo, sev_hi),
+            )
+        )
+    return incidents
+
+
+def _stadium_surge(spec: ScenarioSpec, nodes: list) -> Surge:
+    """Pick the venue and build the surge for the stadium section."""
+    stadium = spec.stadium
+    assert stadium is not None
+    rng = random.Random(spec.seed + _SEED_STADIUM)
+    venue = rng.choice(nodes)
+    return Surge(
+        node=venue,
+        start=spec.start + stadium.at,
+        duration=stadium.duration,
+        magnitude=stadium.magnitude,
+        radius_hops=stadium.radius_hops,
+    )
+
+
+def compile_ground_truth(
+    spec: ScenarioSpec, network: StreetNetwork
+) -> TrafficGroundTruth:
+    """Build the ground-truth dynamics for a spec over ``network``."""
+    monitored = None
+    incidents: list[Incident] = []
+    if spec.storm is not None:
+        monitored = _monitored_nodes(spec, network)
+        incidents.extend(_storm_incidents(spec, monitored))
+    surges: tuple[Surge, ...] = ()
+    if spec.stadium is not None:
+        if monitored is None:
+            monitored = _monitored_nodes(spec, network)
+        surges = (_stadium_surge(spec, monitored),)
+    weather: tuple[WeatherSlowdown, ...] = ()
+    if spec.weather is not None:
+        weather = (
+            WeatherSlowdown(
+                start=spec.start + spec.weather.start,
+                end=spec.start + spec.weather.end,
+                density_factor=spec.weather.density_factor,
+            ),
+        )
+    return TrafficGroundTruth(
+        network,
+        seed=spec.seed + 2,
+        incidents=incidents,
+        surges=surges,
+        weather=weather,
+    )
+
+
+def compile_scenario(spec: ScenarioSpec) -> DublinScenario:
+    """Compile a spec into a fully-wired :class:`DublinScenario`."""
+    network = build_network(spec.topology, seed=spec.seed)
+    ground_truth = compile_ground_truth(spec, network)
+    config = _scenario_config(spec, network)
+    return DublinScenario(
+        config, network=network, ground_truth=ground_truth
+    )

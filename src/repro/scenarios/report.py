@@ -1,0 +1,91 @@
+"""Self-contained HTML report of a scenario-matrix run.
+
+Mirrors :mod:`repro.system.report`'s constraints: one standalone HTML
+file, no external assets or scripts, archivable next to CI artifacts.
+The document leads with the matrix verdict table (one row per
+scenario: family, duration, envelope verdict, failed clauses) and then
+renders every scenario's full clause table — expected band, observed
+value, PASS/FAIL — so a red CI job is diagnosable from the artifact
+alone.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from ..ioutils import atomic_write_text
+from .runner import MatrixResult, ScenarioRun
+
+__all__ = ["render_matrix_html", "write_matrix_report"]
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #ccc; padding: 4px 10px; text-align: left; }
+th { background: #f0f0f0; }
+.num { text-align: right; }
+.pass { color: #0a6b25; font-weight: bold; }
+.fail { color: #a11022; font-weight: bold; }
+"""
+
+
+def _verdict(passed: bool) -> str:
+    cls = "pass" if passed else "fail"
+    return f'<span class="{cls}">{"PASS" if passed else "FAIL"}</span>'
+
+
+def _scenario_section(run: ScenarioRun) -> str:
+    spec = run.spec
+    clause_rows = "".join(
+        f"<tr><td>{html.escape(clause.kind)}</td>"
+        f"<td>{html.escape(clause.subject)}</td>"
+        f"<td>{html.escape(clause.expected)}</td>"
+        f'<td class="num">{html.escape(clause.observed)}</td>'
+        f"<td>{_verdict(clause.passed)}</td></tr>"
+        for clause in run.envelope.clauses
+    )
+    return (
+        f"<h2>{html.escape(spec.name)} — {_verdict(run.passed)}</h2>"
+        f"<p>{html.escape(spec.description)}</p>"
+        f"<p>topology <code>{html.escape(spec.topology.family)}</code>"
+        f" · seed {spec.seed} · start {spec.start} s"
+        f" · {run.duration} simulated seconds</p>"
+        "<table><tr><th>clause</th><th>subject</th><th>expected</th>"
+        "<th>observed</th><th>verdict</th></tr>"
+        f"{clause_rows}</table>"
+    )
+
+
+def render_matrix_html(result: MatrixResult) -> str:
+    """Render a matrix run as a standalone HTML document string."""
+    summary_rows = "".join(
+        f"<tr><td>{html.escape(run.spec.name)}</td>"
+        f"<td>{html.escape(run.spec.topology.family)}</td>"
+        f'<td class="num">{run.duration}</td>'
+        f'<td class="num">{len(run.envelope.clauses)}</td>'
+        f'<td class="num">{len(run.envelope.failures)}</td>'
+        f"<td>{_verdict(run.passed)}</td></tr>"
+        for run in result.runs
+    )
+    sections = "".join(_scenario_section(run) for run in result.runs)
+    n_pass = len(result.runs) - result.n_failed
+    return (
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\">"
+        "<title>scenario matrix</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        f"<h1>scenario matrix — {_verdict(result.passed)} "
+        f"({n_pass}/{len(result.runs)} scenarios)</h1>"
+        "<table><tr><th>scenario</th><th>family</th>"
+        "<th>duration (s)</th><th>clauses</th><th>failed</th>"
+        f"<th>verdict</th></tr>{summary_rows}</table>"
+        f"{sections}</body></html>"
+    )
+
+
+def write_matrix_report(result: MatrixResult, path: str | Path) -> Path:
+    """Render with :func:`render_matrix_html` and write to ``path``."""
+    path = Path(path)
+    atomic_write_text(path, render_matrix_html(result))
+    return path

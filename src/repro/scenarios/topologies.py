@@ -1,0 +1,237 @@
+"""City topology families for the scenario DSL.
+
+The Dublin substrate ships one procedural topology — the jittered grid
+with radial arteries of :func:`repro.dublin.network
+.generate_street_network`.  Real cities come in more shapes, and the
+CE rules, the region split and the GP traffic model should not care:
+this module adds a *radial* family (concentric rings and spokes — the
+European-core shape) and a *multi-centre* family (several dense blocks
+stitched by arterials — the polycentric-conurbation shape), all
+producing the same :class:`~repro.dublin.network.StreetNetwork` object
+inside the same bounding box, so SCATS placement, bus routing, the
+four-region partition and every recognition pipeline run unchanged.
+
+Every generator is a pure function of its parameters and seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import networkx as nx
+
+from ..dublin.network import (
+    DUBLIN_BBOX,
+    StreetNetwork,
+    generate_street_network,
+)
+
+__all__ = [
+    "FAMILIES",
+    "build_network",
+    "generate_radial_network",
+    "generate_multi_centre_network",
+]
+
+#: The topology families the DSL accepts.
+FAMILIES = ("grid", "radial", "multi_centre")
+
+
+def _edge_length_m(positions, a, b) -> float:
+    from ..core.geo import distance_m
+
+    (lon_a, lat_a), (lon_b, lat_b) = positions[a], positions[b]
+    return distance_m(lon_a, lat_a, lon_b, lat_b)
+
+
+def generate_radial_network(
+    *,
+    rings: int = 6,
+    spokes: int = 12,
+    seed: int = 0,
+    bbox: tuple[float, float, float, float] = DUBLIN_BBOX,
+    jitter: float = 0.18,
+    spoke_removal_rate: float = 0.12,
+) -> StreetNetwork:
+    """A ring-and-spoke city: junctions on ``rings`` concentric rings
+    crossed by ``spokes`` radial arteries, plus a centre junction.
+
+    Ring edges connect angular neighbours on the same ring; spoke
+    edges connect radial neighbours on the same spoke (a fraction is
+    removed for irregularity, rings keep the graph connected).
+    Positions are jittered; the outermost ring touches ~90% of the
+    bounding-box half-extent, so all four city regions are populated.
+    """
+    if rings < 2 or spokes < 4:
+        raise ValueError("radial networks need rings >= 2 and spokes >= 4")
+    if not 0.0 <= spoke_removal_rate < 0.5:
+        raise ValueError("spoke_removal_rate must be in [0, 0.5)")
+    rng = random.Random(seed)
+    lon_min, lat_min, lon_max, lat_max = bbox
+    c_lon = (lon_min + lon_max) / 2.0
+    c_lat = (lat_min + lat_max) / 2.0
+    half_lon = (lon_max - lon_min) / 2.0 * 0.9
+    half_lat = (lat_max - lat_min) / 2.0 * 0.9
+
+    graph = nx.Graph()
+    positions: dict = {}
+
+    def _add(node, lon, lat):
+        positions[node] = (lon, lat)
+        graph.add_node(node, lon=lon, lat=lat)
+
+    _add("C", c_lon, c_lat)
+    d_ring_lon = half_lon / rings
+    d_ring_lat = half_lat / rings
+    for ring in range(1, rings + 1):
+        for spoke in range(spokes):
+            angle = 2.0 * math.pi * spoke / spokes
+            lon = c_lon + ring * d_ring_lon * math.cos(angle)
+            lat = c_lat + ring * d_ring_lat * math.sin(angle)
+            lon += rng.uniform(-jitter, jitter) * d_ring_lon
+            lat += rng.uniform(-jitter, jitter) * d_ring_lat
+            _add(f"R{ring:02d}_{spoke:02d}", lon, lat)
+
+    def _edge(a, b):
+        graph.add_edge(a, b, length_m=_edge_length_m(positions, a, b))
+
+    for ring in range(1, rings + 1):
+        for spoke in range(spokes):
+            node = f"R{ring:02d}_{spoke:02d}"
+            # Ring edge to the angular neighbour (always kept: the
+            # rings are what guarantees connectivity).
+            _edge(node, f"R{ring:02d}_{(spoke + 1) % spokes:02d}")
+            # Spoke edge inward, thinned for irregularity.
+            inward = (
+                "C" if ring == 1 else f"R{ring - 1:02d}_{spoke:02d}"
+            )
+            if ring == 1 or rng.random() >= spoke_removal_rate:
+                _edge(node, inward)
+    return StreetNetwork(graph=graph, bbox=bbox)
+
+
+def generate_multi_centre_network(
+    *,
+    centres: int = 3,
+    block: int = 6,
+    seed: int = 0,
+    bbox: tuple[float, float, float, float] = DUBLIN_BBOX,
+    jitter: float = 0.22,
+    removal_rate: float = 0.08,
+) -> StreetNetwork:
+    """A polycentric conurbation: ``centres`` dense ``block``x``block``
+    grid neighbourhoods spread over the bounding box, stitched together
+    by arterial edges between their nearest junctions.
+
+    Centre positions are placed on a jittered ellipse around the city
+    centre (plus one *at* the centre when ``centres`` >= 3), so the
+    blocks land in different city regions and the four-way recognition
+    split stays meaningful.
+    """
+    if centres < 2 or block < 3:
+        raise ValueError(
+            "multi-centre networks need centres >= 2 and block >= 3"
+        )
+    if not 0.0 <= removal_rate < 0.5:
+        raise ValueError("removal_rate must be in [0, 0.5)")
+    rng = random.Random(seed)
+    lon_min, lat_min, lon_max, lat_max = bbox
+    c_lon = (lon_min + lon_max) / 2.0
+    c_lat = (lat_min + lat_max) / 2.0
+    span_lon = lon_max - lon_min
+    span_lat = lat_max - lat_min
+    # Each block occupies roughly a third of the bbox extent.
+    block_lon = span_lon * 0.30
+    block_lat = span_lat * 0.30
+
+    anchors: list[tuple[float, float]] = []
+    ring = centres if centres < 3 else centres - 1
+    for i in range(ring):
+        angle = 2.0 * math.pi * i / ring + rng.uniform(-0.2, 0.2)
+        anchors.append(
+            (
+                c_lon + 0.30 * span_lon * math.cos(angle),
+                c_lat + 0.30 * span_lat * math.sin(angle),
+            )
+        )
+    if centres >= 3:
+        anchors.append((c_lon, c_lat))
+
+    graph = nx.Graph()
+    positions: dict = {}
+
+    def _edge(a, b):
+        graph.add_edge(a, b, length_m=_edge_length_m(positions, a, b))
+
+    per_block_nodes: list[list] = []
+    d_lon = block_lon / (block - 1)
+    d_lat = block_lat / (block - 1)
+    for b_idx, (a_lon, a_lat) in enumerate(anchors):
+        nodes: list = []
+        for r in range(block):
+            for c in range(block):
+                node = f"M{b_idx}_{r:02d}_{c:02d}"
+                lon = (
+                    a_lon - block_lon / 2 + c * d_lon
+                    + rng.uniform(-jitter, jitter) * d_lon
+                )
+                lat = (
+                    a_lat - block_lat / 2 + r * d_lat
+                    + rng.uniform(-jitter, jitter) * d_lat
+                )
+                positions[node] = (lon, lat)
+                graph.add_node(node, lon=lon, lat=lat)
+                nodes.append(node)
+        per_block_nodes.append(nodes)
+        for r in range(block):
+            for c in range(block):
+                node = f"M{b_idx}_{r:02d}_{c:02d}"
+                if c + 1 < block and rng.random() >= removal_rate:
+                    _edge(node, f"M{b_idx}_{r:02d}_{c + 1:02d}")
+                if r + 1 < block and rng.random() >= removal_rate:
+                    _edge(node, f"M{b_idx}_{r + 1:02d}_{c:02d}")
+
+    # Arterials: connect every pair of adjacent blocks (consecutive on
+    # the anchor ring, and everything to the central block) through
+    # their two closest junction pairs.
+    def _stitch(nodes_a, nodes_b):
+        pairs = sorted(
+            (
+                (_edge_length_m(positions, a, b), a, b)
+                for a in nodes_a
+                for b in nodes_b
+            ),
+        )[:2]
+        for _, a, b in pairs:
+            _edge(a, b)
+
+    for i in range(len(anchors) - 1):
+        _stitch(per_block_nodes[i], per_block_nodes[(i + 1) % len(anchors)])
+    if len(anchors) > 2:
+        _stitch(per_block_nodes[0], per_block_nodes[-1])
+
+    largest = max(nx.connected_components(graph), key=len)
+    graph = graph.subgraph(largest).copy()
+    return StreetNetwork(graph=graph, bbox=bbox)
+
+
+def build_network(topology, *, seed: int = 0) -> StreetNetwork:
+    """Compile a :class:`~repro.scenarios.spec.TopologySpec` into a
+    street network (the dispatch point of the DSL's topology axis)."""
+    if topology.family == "grid":
+        return generate_street_network(
+            rows=topology.rows, cols=topology.cols, seed=seed
+        )
+    if topology.family == "radial":
+        return generate_radial_network(
+            rings=topology.rings, spokes=topology.spokes, seed=seed
+        )
+    if topology.family == "multi_centre":
+        return generate_multi_centre_network(
+            centres=topology.centres, block=topology.block, seed=seed
+        )
+    raise ValueError(
+        f"unknown topology family {topology.family!r}; "
+        f"expected one of {', '.join(FAMILIES)}"
+    )

@@ -92,6 +92,16 @@ class SystemConfig:
     #: Distribute recognition across the four city regions (Section 7.1)
     #: or run a single engine.
     distribute_by_region: bool = True
+    #: Pack the four city regions onto fewer recognition engines: each
+    #: inner tuple is one engine's set of regions, and together they
+    #: must partition ``REGIONS`` exactly.  ``(("central", "north"),
+    #: ("west", "south"))`` runs two engines — and two workers under
+    #: ``sharded`` — instead of four.  The region *assignment* of every
+    #: SDE is unchanged, so recognition output is a pure function of
+    #: the grouping, not of how many processes execute it (the
+    #: scenario parity matrix pins this).  ``None`` keeps one engine
+    #: per region.
+    region_groups: Optional[tuple[tuple[str, ...], ...]] = None
     #: Fan the per-region recognition queries out over an executor
     #: (Section 7.1's parallel deployment).  The merge is deterministic:
     #: results are applied in region order, so recognised CEs, operator
@@ -234,6 +244,25 @@ class SystemConfig:
                 f"shard_start_method must be 'fork', 'spawn' or "
                 f"'forkserver', got {self.shard_start_method!r}"
             )
+        if self.region_groups is not None:
+            if not self.distribute_by_region:
+                raise ValueError(
+                    "region_groups requires distribute_by_region: a "
+                    "single city-wide engine has nothing to group"
+                )
+            groups = tuple(
+                tuple(group) for group in self.region_groups
+            )
+            object.__setattr__(self, "region_groups", groups)
+            flat = [region for group in groups for region in group]
+            if not groups or any(not group for group in groups):
+                raise ValueError("region_groups must not contain an "
+                                 "empty group")
+            if sorted(flat) != sorted(REGIONS):
+                raise ValueError(
+                    f"region_groups must partition the city regions "
+                    f"{sorted(REGIONS)} exactly, got {sorted(flat)}"
+                )
         if self.fault_profile is not None:
             # Fail fast on unknown profile names (with the same
             # closest-match hint get_profile gives everywhere else).
@@ -402,7 +431,21 @@ class UrbanTrafficSystem:
         )
 
         params = default_traffic_params()
-        regions = list(REGIONS) if cfg.distribute_by_region else ["city"]
+        #: Region -> engine-key mapping when the four regions are
+        #: packed onto fewer engines; ``None`` means one engine per
+        #: region (or the single "city" engine).
+        self._region_to_group: Optional[dict[str, str]] = None
+        if not cfg.distribute_by_region:
+            regions = ["city"]
+        elif cfg.region_groups is not None:
+            regions = ["+".join(group) for group in cfg.region_groups]
+            self._region_to_group = {
+                region: "+".join(group)
+                for group in cfg.region_groups
+                for region in group
+            }
+        else:
+            regions = list(REGIONS)
         self.engines: dict[str, RTEC] = {}
         for region in regions:
             definitions = build_traffic_definitions(
@@ -593,7 +636,9 @@ class UrbanTrafficSystem:
         self._index_inputs(data)
         feed_arrivals = self._feed_arrivals(data)
         if self.config.distribute_by_region:
-            split = self.scenario.split_by_region(data)
+            split = self.scenario.split_by_region(
+                data, groups=self._region_to_group
+            )
         else:
             split = {"city": (data.events, data.facts)}
         for region, (events, facts) in split.items():
@@ -682,7 +727,9 @@ class UrbanTrafficSystem:
                 data, pristine.fault_profile, metrics=pristine.metrics
             )
         if self.config.distribute_by_region:
-            split = pristine.scenario.split_by_region(data)
+            split = pristine.scenario.split_by_region(
+                data, groups=self._region_to_group
+            )
         else:
             split = {"city": (data.events, data.facts)}
         admitted_through = state.next_q - self.config.step

@@ -1,0 +1,51 @@
+"""Chaos leg of the scenario matrix: the storm scenario under the
+blackout fault profile must degrade gracefully — the timeline names
+the injected feed, the degraded-bounds envelope clause passes, and
+sensor-side alerts are suppressed while bus-side recognition keeps
+producing."""
+
+import pytest
+
+from repro.scenarios import get_scenario, run_scenario
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(scope="module")
+def blackout_run():
+    return run_scenario(get_scenario("grid_blackout_chaos"))
+
+
+class TestBlackoutScenario:
+    def test_timeline_names_injected_feed(self, blackout_run):
+        report = blackout_run.report
+        assert "scats" in report.degraded
+        timeline = "\n".join(report.degraded_timeline())
+        assert "scats" in timeline
+
+    def test_degraded_bounds_clause_passes(self, blackout_run):
+        clauses = [
+            clause
+            for clause in blackout_run.envelope.clauses
+            if clause.kind == "degraded"
+        ]
+        assert clauses and all(clause.passed for clause in clauses)
+        assert clauses[0].subject == "scats"
+
+    def test_sensor_alerts_suppressed(self, blackout_run):
+        counts = blackout_run.report.console.counts()
+        assert counts.get("scats congestion", 0) == 0
+
+    def test_bus_feed_keeps_producing(self, blackout_run):
+        report = blackout_run.report
+        assert report.total_occurrences("disagree") > 0
+        assert blackout_run.passed, "\n" + blackout_run.envelope.format()
+
+    def test_fault_injection_counted(self, blackout_run):
+        counters = blackout_run.report.metrics.get("counters", {})
+        dropped = sum(
+            count
+            for name, count in counters.items()
+            if name.startswith("faults.") and "drop" in name
+        )
+        assert dropped > 0

@@ -1,0 +1,92 @@
+"""The ``scenarios`` CLI surface and the matrix HTML report."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import (
+    get_scenario,
+    render_matrix_html,
+    run_matrix,
+    write_matrix_report,
+)
+
+
+@pytest.fixture(scope="module")
+def small_matrix():
+    """Two scenarios, envelopes evaluated without parity legs (the
+    report must render FAIL rows too)."""
+    return run_matrix(
+        [get_scenario("radial_storm"), get_scenario("grid_weather_crawl")],
+        check_parity=False,
+    )
+
+
+class TestMatrixReport:
+    def test_html_is_standalone_and_complete(self, small_matrix):
+        html_text = render_matrix_html(small_matrix)
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "radial_storm" in html_text
+        assert "grid_weather_crawl" in html_text
+        # Parity clauses were skipped, so the verdict is FAIL and the
+        # clause tables must show the unchecked rows.
+        assert "FAIL" in html_text
+        assert "unchecked" in html_text
+        assert "<script" not in html_text
+
+    def test_write_matrix_report(self, small_matrix, tmp_path):
+        path = write_matrix_report(small_matrix, tmp_path / "matrix.html")
+        assert path.exists()
+        assert "scenario matrix" in path.read_text()
+
+
+class TestScenariosCli:
+    def test_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "grid_rush" in out
+        assert "multi_centre" in out
+
+    def test_show_round_trips(self, capsys):
+        assert main(["scenarios", "show", "radial_storm"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["name"] == "radial_storm"
+        assert document["topology"]["family"] == "radial"
+
+    def test_show_unknown_hints(self, capsys):
+        assert main(["scenarios", "show", "radial_strom"]) == 2
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_run_writes_artifacts_and_signals_failure(
+        self, capsys, tmp_path
+    ):
+        report = tmp_path / "matrix.html"
+        verdicts = tmp_path / "matrix.json"
+        # --no-parity leaves parity clauses unchecked -> exit 1.
+        code = main(
+            [
+                "scenarios", "run", "grid_rush", "--no-parity",
+                "--report", str(report), "--json", str(verdicts),
+            ]
+        )
+        assert code == 1
+        assert report.exists()
+        payload = json.loads(verdicts.read_text())
+        assert payload[0]["scenario"] == "grid_rush"
+        assert any(
+            clause["kind"] == "parity" and not clause["passed"]
+            for clause in payload[0]["clauses"]
+        )
+        out = capsys.readouterr().out
+        assert "matrix: 0/1 scenarios passed" in out
+
+    def test_run_passing_scenario_exits_zero(self, capsys):
+        code = main(["scenarios", "run", "radial_storm"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "matrix: 1/1 scenarios passed" in out
+
+    def test_matrix_flag_conflicts_with_names(self, capsys):
+        assert main(["scenarios", "run", "grid_rush", "--matrix"]) == 2
+        assert "whole library" in capsys.readouterr().err

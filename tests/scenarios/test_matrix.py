@@ -1,0 +1,60 @@
+"""The scenario acceptance matrix.
+
+Two tiers:
+
+* ``TestScenarioSmoke`` stays in tier-1 — a miniature of the matrix
+  (two non-sharded scenarios, full envelopes with parity) that keeps
+  the whole DSL → compile → run → envelope path exercised on every
+  push in a few seconds.
+* ``TestScenarioMatrix`` carries the ``scenario_matrix`` marker — the
+  full library, every scenario at its declared duration with every
+  declared parity leg (including the two-shard process runtime), run
+  by the dedicated CI job.
+"""
+
+import pytest
+
+from repro.scenarios import (
+    SCENARIO_LIBRARY,
+    get_scenario,
+    run_scenario,
+)
+
+
+def _assert_envelope(run):
+    assert run.passed, "\n" + run.envelope.format()
+
+
+class TestScenarioSmoke:
+    """Tier-1 miniature: full acceptance for two cheap scenarios."""
+
+    def test_radial_storm_envelope(self):
+        _assert_envelope(run_scenario(get_scenario("radial_storm")))
+
+    def test_blackout_chaos_envelope(self):
+        _assert_envelope(run_scenario(get_scenario("grid_blackout_chaos")))
+
+    def test_no_parity_fails_closed(self):
+        run = run_scenario(
+            get_scenario("radial_storm"), check_parity=False
+        )
+        assert not run.passed
+        assert all(
+            clause.kind == "parity" for clause in run.envelope.failures
+        )
+
+
+@pytest.mark.scenario_matrix
+class TestScenarioMatrix:
+    """The full matrix — one test per library scenario."""
+
+    @pytest.mark.parametrize(
+        "name", [spec.name for spec in SCENARIO_LIBRARY]
+    )
+    def test_scenario_envelope(self, name):
+        _assert_envelope(run_scenario(get_scenario(name)))
+
+    def test_matrix_covers_three_families(self):
+        assert (
+            len({spec.topology.family for spec in SCENARIO_LIBRARY}) >= 3
+        )
